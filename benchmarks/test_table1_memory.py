@@ -1,0 +1,83 @@
+"""T1-memory: the memory column of Table 1.
+
+Paper claim: every algorithm in the table (and every one reproduced here) uses
+O(log(k + Δ)) bits per agent; the lower bound is Ω(log k).
+
+Measured here: the peak bits held by the worst agent, normalized by
+log2(k + Δ), across algorithms and k.  The claim holds iff the normalized
+value stays (roughly) constant as k and Δ grow; the absolute constant is also
+reported so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis.tables import Table
+from repro.baselines.naive_dfs import naive_sync_dispersion
+from repro.baselines.sudo_disc24 import sudo_sync_dispersion
+from repro.core.rooted_async import rooted_async_dispersion
+from repro.core.rooted_sync import rooted_sync_dispersion
+from repro.graph import generators
+from repro.sim.adversary import RoundRobinAdversary
+
+K_SWEEP = [16, 32, 64, 128]
+
+
+def normalized_memory(result):
+    return round(result.metrics.peak_memory_log_units, 2)
+
+
+def test_table1_memory_normalized_is_flat(record_rows):
+    """Peak bits / log2(k+Δ) must not grow with k (stars: Δ = k - 1)."""
+    rows = {}
+    sweep = {}
+    for k in K_SWEEP:
+        star = generators.star(k)
+        sweep[k] = {
+            "RootedSyncDisp (ours)": normalized_memory(rooted_sync_dispersion(generators.star(k), k)),
+            "Sudo'24-style": normalized_memory(sudo_sync_dispersion(generators.star(k), k)),
+            "naive seq-probe DFS": normalized_memory(naive_sync_dispersion(star, k)),
+        }
+        if k <= 48:
+            sweep[k]["RootedAsyncDisp (ours)"] = normalized_memory(
+                rooted_async_dispersion(
+                    generators.star(k), k, adversary=RoundRobinAdversary()
+                )
+            )
+    algorithms = sorted({name for row in sweep.values() for name in row})
+    table = Table(
+        "Table 1 / memory column: peak bits per agent ÷ log2(k+Δ), star graphs",
+        ["algorithm"] + [f"k={k}" for k in K_SWEEP],
+    )
+    for name in algorithms:
+        table.add_row(name, *[sweep[k].get(name, "-") for k in K_SWEEP])
+        rows[name] = {k: sweep[k][name] for k in K_SWEEP if name in sweep[k]}
+    report("T1-memory (stars, Δ = k-1)", [table.render()])
+    record_rows.append(("T1-memory", {n: list(s.values())[-1] for n, s in rows.items()}))
+
+    for name, series in rows.items():
+        values = list(series.values())
+        # Constant-factor drift only: largest k uses at most ~2x the normalized
+        # bits of the smallest k (and never an unbounded amount).
+        assert values[-1] <= values[0] * 2.0 + 6, name
+        assert values[-1] < 45, name
+
+
+def test_memory_absolute_bits_scale_logarithmically():
+    small = rooted_sync_dispersion(generators.star(16), 16)
+    large = rooted_sync_dispersion(generators.star(128), 128)
+    # 8x more agents and 8x larger degree => bits grow by ~log factor only.
+    assert large.metrics.peak_memory_bits < small.metrics.peak_memory_bits * 3
+
+
+@pytest.mark.parametrize("k", [64])
+def test_wallclock_memory_accounting_overhead(benchmark, k):
+    """The accounting layer itself must stay cheap (it wraps every field write)."""
+    result = benchmark.pedantic(
+        lambda: rooted_sync_dispersion(generators.random_tree(k, seed=k), k),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.dispersed

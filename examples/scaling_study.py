@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the qualitative content of the paper's Table 1.
+
+Sweeps k over a topology family, runs the paper's algorithms and the
+prior-work baselines, and prints (i) a Table-1-style comparison of measured
+times and (ii) log–log power-law fits of time versus k, so the asymptotic
+claims can be eyeballed directly:
+
+* RootedSyncDisp  — exponent ≈ 1        (Theorem 6.1, O(k))
+* RootedAsyncDisp — exponent ≈ 1 + o(1) (Theorem 7.1, O(k log k))
+* naive / KS DFS  — exponent ≈ 2 on dense graphs (O(min{m, kΔ}))
+
+Run:  python examples/scaling_study.py [--family complete|er|line] [--max-k 96]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import generators
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.tables import comparison_table
+from repro.baselines.ks_opodis21 import ks_async_dispersion
+from repro.baselines.naive_dfs import naive_sync_dispersion
+from repro.baselines.sudo_disc24 import sudo_sync_dispersion
+from repro.core.rooted_async import rooted_async_dispersion
+from repro.core.rooted_sync import rooted_sync_dispersion
+from repro.sim.adversary import RoundRobinAdversary
+
+
+def make_graph(family: str, k: int):
+    if family == "complete":
+        return generators.complete(k)
+    if family == "er":
+        return generators.erdos_renyi(int(k * 1.2), 12.0 / k, seed=k)
+    if family == "line":
+        return generators.line(k)
+    raise ValueError(f"unknown family {family!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--family", default="complete", choices=["complete", "er", "line"])
+    parser.add_argument("--max-k", type=int, default=96)
+    args = parser.parse_args()
+
+    ks = [k for k in (12, 24, 48, 96, 192) if k <= args.max_k]
+    sync_algos = [
+        ("RootedSyncDisp (ours)", lambda g, k: rooted_sync_dispersion(g, k)),
+        ("Sudo'24-style", lambda g, k: sudo_sync_dispersion(g, k)),
+        ("naive DFS (OPODIS'21 bound)", lambda g, k: naive_sync_dispersion(g, k)),
+    ]
+    async_algos = [
+        ("RootedAsyncDisp (ours)",
+         lambda g, k: rooted_async_dispersion(g, k, adversary=RoundRobinAdversary())),
+        ("KS'21-style ASYNC",
+         lambda g, k: ks_async_dispersion(g, k, adversary=RoundRobinAdversary())),
+    ]
+
+    sync_rows, async_rows = {}, {}
+    for name, algo in sync_algos:
+        sync_rows[name] = {}
+        for k in ks:
+            result = algo(make_graph(args.family, k), k)
+            assert result.dispersed
+            sync_rows[name][k] = result.metrics.rounds
+    for name, algo in async_algos:
+        async_rows[name] = {}
+        for k in ks:
+            if k > 64:  # keep the activation-level simulation fast
+                continue
+            result = algo(make_graph(args.family, k), k)
+            assert result.dispersed
+            async_rows[name][k] = result.metrics.epochs
+
+    bounds = {
+        "RootedSyncDisp (ours)": "O(k)",
+        "Sudo'24-style": "O(k log k)",
+        "naive DFS (OPODIS'21 bound)": "O(min{m, kΔ})",
+        "RootedAsyncDisp (ours)": "O(k log k)",
+        "KS'21-style ASYNC": "O(min{m, kΔ})",
+    }
+    print(comparison_table(
+        f"Rooted SYNC dispersion on '{args.family}' graphs", sync_rows, "rounds", bounds
+    ).render())
+    print()
+    print(comparison_table(
+        f"Rooted ASYNC dispersion on '{args.family}' graphs", async_rows, "epochs", bounds
+    ).render())
+
+    print("\nlog–log fits (time ≈ c·k^e):")
+    for name, series in {**sync_rows, **async_rows}.items():
+        if len(series) >= 3:
+            fit = fit_power_law(list(series.keys()), list(series.values()))
+            print(f"  {name:30s} {fit.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on environments whose setuptools/pip cannot do
+PEP 660 editable installs offline (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

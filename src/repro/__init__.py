@@ -1,0 +1,84 @@
+"""repro: a reproduction of "Dispersion is (Almost) Optimal under (A)synchrony".
+
+The package implements, from scratch, everything needed to run and measure the
+paper's dispersion algorithms on a laptop:
+
+* an anonymous, port-labeled graph substrate and a topology zoo
+  (:mod:`repro.graph`),
+* a mobile-agent model with per-agent memory-bit accounting
+  (:mod:`repro.agents`),
+* synchronous and asynchronous (adversarial) execution engines
+  (:mod:`repro.sim`),
+* the paper's algorithms -- rooted/general × SYNC/ASYNC -- and their building
+  blocks (:mod:`repro.core`),
+* the prior-work baselines they are compared against in Table 1
+  (:mod:`repro.baselines`),
+* verification and scaling analysis used by the benchmark harness
+  (:mod:`repro.analysis`).
+
+Quickstart
+----------
+
+>>> from repro import generators, rooted_sync_dispersion
+>>> g = generators.random_tree(64, seed=1)
+>>> result = rooted_sync_dispersion(g, k=64)
+>>> result.dispersed
+True
+"""
+
+from repro.graph import generators, PortLabeledGraph, PortAssignment
+from repro.core import (
+    rooted_sync_dispersion,
+    RootedSyncDispersion,
+    rooted_async_dispersion,
+    RootedAsyncDispersion,
+    select_empty_nodes,
+)
+from repro.baselines import (
+    naive_sync_dispersion,
+    ks_async_dispersion,
+    sudo_sync_dispersion,
+    random_walk_dispersion,
+)
+from repro.sim import (
+    RandomAdversary,
+    RoundRobinAdversary,
+    StarvationAdversary,
+    DispersionResult,
+)
+from repro.analysis import verify_dispersion, is_dispersed, fit_power_law
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "generators",
+    "PortLabeledGraph",
+    "PortAssignment",
+    "rooted_sync_dispersion",
+    "RootedSyncDispersion",
+    "rooted_async_dispersion",
+    "RootedAsyncDispersion",
+    "general_sync_dispersion",
+    "general_async_dispersion",
+    "select_empty_nodes",
+    "naive_sync_dispersion",
+    "ks_async_dispersion",
+    "sudo_sync_dispersion",
+    "random_walk_dispersion",
+    "RandomAdversary",
+    "RoundRobinAdversary",
+    "StarvationAdversary",
+    "DispersionResult",
+    "verify_dispersion",
+    "is_dispersed",
+    "fit_power_law",
+    "__version__",
+]
+
+
+def __getattr__(name):  # pragma: no cover - lazy re-export of the general drivers
+    if name in ("general_sync_dispersion", "general_async_dispersion"):
+        import repro.core as _core
+
+        return getattr(_core, name)
+    raise AttributeError(name)

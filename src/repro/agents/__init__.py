@@ -1,0 +1,6 @@
+"""Mobile-agent substrate: agent state, roles, and memory-bit accounting."""
+
+from repro.agents.agent import Agent, AgentRole
+from repro.agents.memory import AgentMemory, FieldKind, MemoryModel
+
+__all__ = ["Agent", "AgentRole", "AgentMemory", "FieldKind", "MemoryModel"]

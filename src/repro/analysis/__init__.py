@@ -1,0 +1,20 @@
+"""Analysis layer: result verification, scaling fits, and report tables."""
+
+from repro.analysis.verification import (
+    is_dispersed,
+    verify_dispersion,
+    check_memory_bound,
+)
+from repro.analysis.scaling import fit_power_law, fit_linear_ratio, ScalingFit
+from repro.analysis.tables import Table, comparison_table
+
+__all__ = [
+    "is_dispersed",
+    "verify_dispersion",
+    "check_memory_bound",
+    "fit_power_law",
+    "fit_linear_ratio",
+    "ScalingFit",
+    "Table",
+    "comparison_table",
+]

@@ -1,0 +1,73 @@
+"""Scaling analysis: turn (k, time) sweeps into the shape claims of Table 1.
+
+The paper reports asymptotic bounds; the reproduction checks *shape*: measured
+time divided by the claimed bound should stay (roughly) constant as ``k`` grows,
+and a log–log power-law fit should recover an exponent close to the claimed one
+(1 for ``O(k)``, slightly above 1 for ``O(k log k)``, and noticeably above 1 for
+``O(kΔ)``-type baselines on high-degree families).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ScalingFit", "fit_power_law", "fit_linear_ratio", "normalized_ratios"]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Result of a log–log least-squares fit ``time ≈ c · k^exponent``."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def describe(self) -> str:
+        return (
+            f"time ≈ {self.constant:.3g} · k^{self.exponent:.3f} "
+            f"(R²={self.r_squared:.4f})"
+        )
+
+
+def fit_power_law(ks: Sequence[float], times: Sequence[float]) -> ScalingFit:
+    """Least-squares fit of ``log time`` against ``log k``."""
+    if len(ks) != len(times) or len(ks) < 2:
+        raise ValueError("need at least two (k, time) points")
+    x = np.log(np.asarray(ks, dtype=float))
+    y = np.log(np.asarray(times, dtype=float))
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ScalingFit(exponent=float(slope), constant=float(math.exp(intercept)), r_squared=r2)
+
+
+def normalized_ratios(
+    ks: Sequence[float],
+    times: Sequence[float],
+    bound: Callable[[float], float],
+) -> List[float]:
+    """``time / bound(k)`` for every sample -- constant-ish iff the bound is tight."""
+    if len(ks) != len(times):
+        raise ValueError("ks and times must have the same length")
+    return [t / max(1.0, bound(k)) for k, t in zip(ks, times)]
+
+
+def fit_linear_ratio(
+    ks: Sequence[float],
+    times: Sequence[float],
+    bound: Callable[[float], float],
+) -> Tuple[float, float]:
+    """Return (max ratio, spread) of ``time / bound(k)`` over the sweep.
+
+    ``spread`` is the max ratio divided by the min ratio; a spread close to 1
+    means the measured times scale like the claimed bound across the sweep
+    (the constant is not drifting with ``k``).
+    """
+    ratios = normalized_ratios(ks, times, bound)
+    return max(ratios), max(ratios) / min(ratios)

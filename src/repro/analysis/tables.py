@@ -1,0 +1,72 @@
+"""Plain-text report tables in the style of the paper's Table 1.
+
+The benchmark harness prints these so that a run of
+``pytest benchmarks/ --benchmark-only`` produces, alongside the timing numbers,
+the same qualitative rows the paper reports: which algorithm wins in which
+setting, by roughly what factor, and how memory compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "comparison_table"]
+
+
+@dataclass
+class Table:
+    """A minimal text table with aligned columns."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, fmt(self.columns), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def comparison_table(
+    title: str,
+    results: Dict[str, Dict[int, float]],
+    time_unit: str,
+    bound_labels: Optional[Dict[str, str]] = None,
+) -> Table:
+    """Build a Table-1 style comparison.
+
+    ``results`` maps algorithm name to ``{k: time}``.  Columns are the sorted
+    union of k values; a final column shows the claimed bound (if provided).
+    """
+    ks = sorted({k for series in results.values() for k in series})
+    columns = ["algorithm"] + [f"k={k}" for k in ks] + [f"unit", "claimed bound"]
+    table = Table(title=title, columns=columns)
+    for name, series in results.items():
+        cells: List[object] = [name]
+        for k in ks:
+            value = series.get(k)
+            cells.append("-" if value is None else f"{value:.0f}")
+        cells.append(time_unit)
+        cells.append((bound_labels or {}).get(name, ""))
+        table.add_row(*cells)
+    return table

@@ -1,0 +1,91 @@
+"""Ground-truth verification of dispersion outcomes and model invariants.
+
+The simulator, not the algorithm, decides whether a run succeeded: a
+configuration is a *dispersion configuration* when every agent is settled and no
+two agents occupy the same node.  These checks are used by every algorithm
+driver before it reports success, and by the test suite as the final arbiter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.agents.agent import Agent
+from repro.graph.port_graph import PortLabeledGraph
+
+__all__ = ["is_dispersed", "verify_dispersion", "check_memory_bound", "DispersionError"]
+
+
+class DispersionError(AssertionError):
+    """Raised by :func:`verify_dispersion` when the final configuration is invalid."""
+
+
+def is_dispersed(agents: Iterable[Agent]) -> bool:
+    """True when every agent is settled and all occupy distinct nodes."""
+    seen = set()
+    for agent in agents:
+        if not agent.settled:
+            return False
+        if agent.position in seen:
+            return False
+        seen.add(agent.position)
+    return True
+
+
+def verify_dispersion(graph: PortLabeledGraph, agents: Sequence[Agent]) -> None:
+    """Raise :class:`DispersionError` describing the first violated condition.
+
+    Checks, in order: every agent settled; positions are valid nodes; positions
+    pairwise distinct; settled agents sit at their recorded home node; k <= n.
+    """
+    if len(agents) > graph.num_nodes:
+        raise DispersionError(
+            f"k={len(agents)} agents cannot disperse on n={graph.num_nodes} nodes"
+        )
+    occupied: Dict[int, int] = {}
+    for agent in agents:
+        if not agent.settled:
+            raise DispersionError(f"agent {agent.agent_id} is not settled")
+        node = agent.position
+        if not (0 <= node < graph.num_nodes):
+            raise DispersionError(f"agent {agent.agent_id} is at invalid node {node}")
+        if node in occupied:
+            raise DispersionError(
+                f"agents {occupied[node]} and {agent.agent_id} both occupy node {node}"
+            )
+        occupied[node] = agent.agent_id
+        if agent.home is not None and agent.home != node:
+            raise DispersionError(
+                f"agent {agent.agent_id} settled with home {agent.home} "
+                f"but finished at node {node}"
+            )
+
+
+def check_memory_bound(
+    agents: Sequence[Agent],
+    k: int,
+    max_degree: int,
+    constant: float = 12.0,
+) -> Optional[str]:
+    """Check every agent's peak memory is at most ``constant · log2(k + Δ)`` bits.
+
+    Returns ``None`` when the bound holds, otherwise a human-readable violation
+    message (tests assert on ``None`` so the message surfaces in failures).  The
+    default constant is generous; the benchmarks report the measured ratio so
+    regressions in the constant are visible even while the bound holds.
+    """
+    unit = math.log2(max(2, k + max_degree))
+    worst_ratio = 0.0
+    worst_agent = None
+    for agent in agents:
+        ratio = agent.memory.peak_bits / unit
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst_agent = agent.agent_id
+    if worst_ratio > constant:
+        return (
+            f"agent {worst_agent} used {worst_ratio:.2f}·log2(k+Δ) bits "
+            f"(> allowed {constant})"
+        )
+    return None

@@ -1,0 +1,28 @@
+"""Baseline dispersion algorithms from prior work, used for Table-1 comparisons.
+
+* :mod:`repro.baselines.naive_dfs` -- the classical sequential-probe DFS
+  (Kshemkalyani–Ali ICDCN'19 style): ``O(min{m, kΔ})`` rounds, every visited
+  node keeps a settler.  Also used as the small-``k`` fallback of the core
+  algorithms.
+* :mod:`repro.baselines.ks_opodis21` -- the Kshemkalyani–Sharma OPODIS'21 style
+  DFS in the ASYNC model: ``O(min{m, kΔ})`` epochs, ``O(log(k+Δ))`` bits.
+* :mod:`repro.baselines.sudo_disc24` -- the Sudo et al. DISC'24 style rooted
+  SYNC algorithm: doubling-helper probing, ``O(k log k)`` rounds.
+* :mod:`repro.baselines.random_walk` -- a randomized scattering heuristic (not
+  from the paper's table; included as a sanity baseline for the examples).
+"""
+
+from repro.baselines.naive_dfs import NaiveSyncDFS, naive_sync_dispersion
+from repro.baselines.ks_opodis21 import KSAsyncDispersion, ks_async_dispersion
+from repro.baselines.sudo_disc24 import SudoSyncDispersion, sudo_sync_dispersion
+from repro.baselines.random_walk import random_walk_dispersion
+
+__all__ = [
+    "NaiveSyncDFS",
+    "naive_sync_dispersion",
+    "KSAsyncDispersion",
+    "ks_async_dispersion",
+    "SudoSyncDispersion",
+    "sudo_sync_dispersion",
+    "random_walk_dispersion",
+]

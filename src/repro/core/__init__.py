@@ -1,0 +1,47 @@
+"""The paper's contribution: time-(near-)optimal dispersion algorithms.
+
+Public entry points
+-------------------
+
+* :func:`repro.core.rooted_sync.rooted_sync_dispersion` -- Theorem 6.1,
+  ``O(k)`` rounds, ``O(log(k+Δ))`` bits, rooted initial configurations, SYNC.
+* :func:`repro.core.rooted_async.rooted_async_dispersion` -- Theorem 7.1,
+  ``O(k log k)`` epochs, ``O(log(k+Δ))`` bits, rooted, ASYNC.
+* :func:`repro.core.general_sync.general_sync_dispersion` -- Theorem 8.1,
+  ``O(k)`` rounds, general initial configurations, SYNC.
+* :func:`repro.core.general_async.general_async_dispersion` -- Theorem 8.2,
+  ``O(k log k)`` epochs, general initial configurations, ASYNC.
+
+The building blocks (empty-node selection, oscillation, the probing primitives,
+sibling-pointer re-traversal, size-based subsumption) are exposed as their own
+modules so the per-figure benchmarks can exercise them in isolation.
+"""
+
+from repro.core.empty_nodes import EmptyNodeSelection, select_empty_nodes
+from repro.core.rooted_sync import rooted_sync_dispersion, RootedSyncDispersion
+from repro.core.rooted_async import rooted_async_dispersion, RootedAsyncDispersion
+
+__all__ = [
+    "EmptyNodeSelection",
+    "select_empty_nodes",
+    "rooted_sync_dispersion",
+    "RootedSyncDispersion",
+    "rooted_async_dispersion",
+    "RootedAsyncDispersion",
+    "general_sync_dispersion",
+    "general_async_dispersion",
+]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy import shim
+    """Lazily import the general-configuration drivers (they pull in the rooted
+    machinery plus the subsumption module, which is only needed when used)."""
+    if name == "general_sync_dispersion":
+        from repro.core.general_sync import general_sync_dispersion
+
+        return general_sync_dispersion
+    if name == "general_async_dispersion":
+        from repro.core.general_async import general_async_dispersion
+
+        return general_async_dispersion
+    raise AttributeError(name)

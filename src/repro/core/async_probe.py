@@ -1,0 +1,258 @@
+"""Asynchronous probing and guest see-off (paper Algorithms 3–4, Figures 6–7).
+
+``Async_Probe`` finds a fully unsettled neighbor of the DFS head ``w`` (or
+reports that none exists) in ``O(log k)`` epochs despite asynchrony:
+
+* the agents currently at ``w`` (everybody except the settler ``α(w)``) probe
+  as many unchecked ports as they can in parallel; each prober that finds a
+  settled neighbor brings that settler back to ``w`` as a *helper*, doubling
+  the prober pool for the next iteration (Lemma 5);
+* the leader waits -- by locally observing ``w`` -- until every prober and every
+  recruited helper has arrived before starting the next iteration, which is how
+  the iterations are synchronized without a global clock.
+
+``Guest_See_Off`` then walks every recruited helper back to its home node
+*before* the DFS advances: helpers are paired by ID, each pair walks to the
+first helper's home, the second returns, and the pool halves every iteration
+(Lemma 6, ``O(log k)`` epochs).  This ordering is what makes an "empty"
+observation at the next DFS node trustworthy under asynchrony (Section 4.3).
+
+Both routines are written as generators of CCM actions for the leader (driven
+by :class:`~repro.sim.async_engine.AsyncEngine`); the non-leader participants
+receive their own small action programs, assigned while co-located with the
+agent that instructs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.agents.agent import Agent, AgentRole
+from repro.agents.memory import FieldKind
+from repro.sim.async_engine import Move, Stay, WaitUntil
+
+__all__ = ["async_probe", "guest_see_off"]
+
+
+def _resident_settler(ctx, node: int) -> Optional[Agent]:
+    """The settler whose home is ``node`` and who is currently there."""
+    for agent in ctx.engine.agents_at(node):
+        if agent.settled and agent.home == node:
+            return agent
+    return None
+
+
+def _prober_program(ctx, w: int, port: int, prober: Agent, recruited: List[Agent]):
+    """Action program for a non-leader prober assigned to ``port`` of ``w``.
+
+    The prober crosses to the neighbor, checks for a resident settler while it
+    is there (its Communicate phase), recruits it as a helper if present (the
+    recruit is given a one-move program to follow the prober back to ``w`` and
+    remembers, in its own memory, which port of ``w`` it entered through so it
+    can be seen off home later), and crosses back.
+    """
+    target = ctx.graph.neighbor(w, port)
+    back = ctx.graph.reverse_port(w, port)
+    yield Move(port)
+    resident = _resident_settler(ctx, target)
+    prober.memory.write("probe_found_empty", resident is None, FieldKind.FLAG)
+    prober.memory.write("probe_port", port, FieldKind.PORT)
+    if resident is not None:
+        resident.memory.write("guest_entry_port", port, FieldKind.PORT)
+        resident.role = AgentRole.HELPER
+        ctx.engine.assign(resident.agent_id, _single_move(back))
+        recruited.append(resident)
+    # The completion flag is written in the same CCM cycle as the return move,
+    # so "probe_done and back at w" certifies the probe really happened.
+    prober.memory.write("probe_done", True, FieldKind.FLAG)
+    yield Move(back)
+
+
+def _single_move(port: int):
+    yield Move(port)
+
+
+def _escort_program(ctx, escort: Agent, guest: Agent, out_port: int, back_port: int):
+    """Program for the escorting agent of a see-off pair.
+
+    It follows the guest to the guest's home, waits (locally) until the guest
+    is indeed at that home node, records completion in its own memory (readable
+    by the leader once it is back), then returns to ``w``.
+    """
+    yield Move(out_port)
+    yield WaitUntil(lambda g=guest: g.position == g.home)
+    escort.memory.write("escort_done", True, FieldKind.FLAG)
+    yield Move(back_port)
+
+
+def async_probe(ctx, w: int):
+    """Generator implementing ``Async_Probe`` at node ``w`` for the leader.
+
+    Yields the leader's CCM actions; its return value (captured via
+    ``yield from``) is ``(found_port, guests)`` where ``found_port`` is the
+    smallest port of ``w`` leading to a fully unsettled neighbor (or ``None``)
+    and ``guests`` is the list of settled helpers currently at ``w`` that must
+    be seen off before the DFS moves.
+    """
+    graph = ctx.graph
+    leader = ctx.leader
+    settler_w = _resident_settler(ctx, w)
+    degree = graph.degree(w)
+    limit = min(ctx.probe_cap, degree)
+    checked = 0
+    found: Optional[int] = None
+    guests: List[Agent] = []
+    ctx.metrics.bump("async_probe_calls")
+    if settler_w is not None:
+        settler_w.memory.write("checked", 0, FieldKind.COUNTER_DELTA)
+        settler_w.memory.write("next", 0, FieldKind.PORT)
+
+    while checked < limit and found is None:
+        probers = [
+            a
+            for a in ctx.engine.agents_at(w)
+            if a is not settler_w and a.agent_id != leader.agent_id
+        ]
+        batch = min(len(probers) + 1, limit - checked)  # +1: the leader probes too
+        recruited: List[Agent] = []
+        assigned: List[Tuple[Agent, int]] = []
+        leader_port: Optional[int] = None
+        for j in range(batch):
+            port = checked + 1 + j
+            if j < len(probers):
+                prober = probers[j]
+                prober.memory.write("probe_done", False, FieldKind.FLAG)
+                ctx.engine.assign(
+                    prober.agent_id, _prober_program(ctx, w, port, prober, recruited)
+                )
+                assigned.append((prober, port))
+            else:
+                leader_port = port
+        ctx.metrics.bump("async_probe_iterations")
+
+        # The leader probes its own port (if it took one) with real moves.
+        if leader_port is not None:
+            target = graph.neighbor(w, leader_port)
+            back = graph.reverse_port(w, leader_port)
+            yield Move(leader_port)
+            resident = _resident_settler(ctx, target)
+            leader.memory.write("probe_found_empty", resident is None, FieldKind.FLAG)
+            leader.memory.write("probe_port", leader_port, FieldKind.PORT)
+            if resident is not None:
+                resident.memory.write("guest_entry_port", leader_port, FieldKind.PORT)
+                resident.role = AgentRole.HELPER
+                ctx.engine.assign(resident.agent_id, _single_move(back))
+                recruited.append(resident)
+            yield Move(back)
+            assigned.append((leader, leader_port))
+
+        # Wait until every prober has completed its round trip (its "done" flag
+        # is readable once it is back at w) and every recruited helper has
+        # arrived at w.  ``recruited`` is a live list appended to by the prober
+        # programs, which models the leader reading the returned probers' memory.
+        prober_agents = tuple(a for a, _ in assigned if a is not leader)
+        yield WaitUntil(
+            lambda probers_=prober_agents, rec=recruited: all(
+                p.position == w and bool(p.memory.read("probe_done", False))
+                for p in probers_
+            )
+            and all(a.position == w for a in rec)
+        )
+
+        for prober, port in assigned:
+            if bool(prober.memory.read("probe_found_empty", False)):
+                found = port if found is None else min(found, port)
+        guests.extend(recruited)
+        checked += batch
+
+    if settler_w is not None:
+        settler_w.memory.write("checked", checked, FieldKind.COUNTER_DELTA)
+        settler_w.memory.write("next", 0 if found is None else found, FieldKind.PORT)
+    if ctx.strict:
+        _verify_async_classification(ctx, w, found)
+    return found, guests
+
+
+def _verify_async_classification(ctx, w: int, found: Optional[int]) -> None:
+    """Strict mode: the port reported empty must lead to a never-visited node."""
+    if found is None:
+        return
+    target = ctx.graph.neighbor(w, found)
+    if ctx.is_visited(target):
+        raise AssertionError(
+            f"Async_Probe at node {w} reported port {found} as fully unsettled but "
+            f"node {target} was already visited; Guest_See_Off ordering is broken"
+        )
+
+
+def guest_see_off(ctx, w: int, guests: Sequence[Agent]):
+    """Generator implementing ``Guest_See_Off`` at node ``w`` for the leader.
+
+    Pairs the guests by ID; each pair walks out through the first guest's entry
+    port (so the first guest is home), the second returns; the pool halves per
+    iteration.  A final odd guest is escorted by the settler ``α(w)``, which
+    then returns to ``w``.  The leader merely waits (locally observing ``w`` /
+    the guests' arrival flags) between iterations; every wait is measured by
+    the scheduler.
+    """
+    remaining: List[Agent] = sorted(guests, key=lambda a: a.agent_id)
+    if not remaining:
+        return
+    ctx.metrics.bump("guest_see_off_calls")
+    settler_w = _resident_settler(ctx, w)
+
+    while remaining:
+        ctx.metrics.bump("guest_see_off_iterations")
+        if len(remaining) == 1:
+            guest = remaining[0]
+            out_port = int(guest.memory.read("guest_entry_port"))
+            back_port = ctx.graph.reverse_port(w, out_port)
+            ctx.engine.assign(guest.agent_id, _single_move(out_port))
+            escort = settler_w if settler_w is not None else ctx.leader
+            if escort is ctx.leader:
+                # Degenerate case (no settler at w): the leader escorts in person.
+                yield Move(out_port)
+                yield WaitUntil(lambda g=guest: g.position == g.home)
+                yield Move(back_port)
+            else:
+                escort.memory.write("escort_done", False, FieldKind.FLAG)
+                ctx.engine.assign(
+                    escort.agent_id,
+                    _escort_program(ctx, escort, guest, out_port, back_port),
+                )
+                yield WaitUntil(
+                    lambda e=escort: e.position == w
+                    and bool(e.memory.read("escort_done", False))
+                )
+            guest.role = AgentRole.SETTLER
+            guest.memory.clear("guest_entry_port")
+            remaining = []
+            break
+
+        stayers: List[Agent] = []
+        returners: List[Agent] = []
+        index = 0
+        while index + 1 < len(remaining):
+            a, b = remaining[index], remaining[index + 1]
+            out_port = int(a.memory.read("guest_entry_port"))
+            back_port = ctx.graph.reverse_port(w, out_port)
+            ctx.engine.assign(a.agent_id, _single_move(out_port))
+            b.memory.write("escort_done", False, FieldKind.FLAG)
+            ctx.engine.assign(b.agent_id, _escort_program(ctx, b, a, out_port, back_port))
+            stayers.append(a)
+            returners.append(b)
+            index += 2
+        leftover = remaining[index:] if index < len(remaining) else []
+
+        # The leader proceeds only once every escort is back at w carrying its
+        # "partner reached home" confirmation -- purely local observations at w.
+        yield WaitUntil(
+            lambda rt=tuple(returners): all(
+                b.position == w and bool(b.memory.read("escort_done", False))
+                for b in rt
+            )
+        )
+        for a in stayers:
+            a.role = AgentRole.SETTLER
+            a.memory.clear("guest_entry_port")
+        remaining = sorted(returners + leftover, key=lambda x: x.agent_id)

@@ -1,0 +1,229 @@
+"""Empty-node selection (paper Algorithm 1, ``Empty_Node_Selection``).
+
+Given an arbitrary rooted tree ``T`` with ``k`` nodes, decide which nodes
+receive a settled agent and which are left empty so that
+
+* at most ``⌊2k/3⌋`` nodes are occupied (Lemma 1: at least ``⌈k/3⌉`` empty),
+* every empty node can be *covered* by a settled agent within 2 tree hops whose
+  oscillation trip has length at most 6 rounds (Lemmas 2–3; see
+  :mod:`repro.core.oscillation`).
+
+The rules, following the paper:
+
+1. Settle an agent on every node at **even depth** (root depth 0).
+2. *Case A — remove extra settlers*: for every (odd-depth) node whose children
+   include ``x > 1`` leaves of ``T`` (all at even depth, hence all settled),
+   keep a settler only on the 1st, 4th, 7th, ... of those leaf children and
+   remove the other ``⌊2x/3⌋`` settlers.
+3. *Case B — put new settlers*: for every settled (even-depth) non-leaf node
+   with ``x > 3`` children (all at odd depth, hence all empty), put a settler on
+   its 4th, 7th, 10th, ... children (``⌈(x-3)/3⌉`` of them).
+
+This module is the *centralized / static* version used for analysis, tests, and
+the Figure-1 benchmark.  The SYNC dispersion algorithm applies the same rules
+on-line while its DFS tree grows (Observation 1 of the paper); that on-line
+version lives in :mod:`repro.core.rooted_sync` and is tested against this one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+__all__ = ["EmptyNodeSelection", "select_empty_nodes", "keeps_settler_at_position"]
+
+
+def keeps_settler_at_position(x: int) -> bool:
+    """Whether the ``x``-th (1-based) sibling in a group keeps/receives a settler.
+
+    Shared by the static algorithm and the on-line DFS rules: positions
+    1 is implicitly kept only in Case A; in both cases the occupied positions
+    beyond the first are exactly ``x ≡ 1 (mod 3)`` with ``x ≥ 4``.
+    """
+    return x == 1 or (x >= 4 and x % 3 == 1)
+
+
+@dataclass
+class EmptyNodeSelection:
+    """Result of ``Empty_Node_Selection`` on a rooted tree.
+
+    Attributes
+    ----------
+    occupied / empty:
+        Partition of the tree's nodes.
+    cover:
+        ``empty node -> occupied node`` assignment: the settler responsible for
+        covering the empty node through oscillation.  Children of an occupied
+        node are covered by that node; empty siblings are covered by the
+        occupied sibling that anchors their group.
+    cover_sets:
+        Inverse mapping ``occupied node -> list of covered empty nodes``.
+    depth:
+        Node depths (root at 0).
+    """
+
+    root: int
+    occupied: Set[int]
+    empty: Set[int]
+    cover: Dict[int, int]
+    cover_sets: Dict[int, List[int]]
+    depth: Dict[int, int]
+
+    @property
+    def size(self) -> int:
+        return len(self.occupied) + len(self.empty)
+
+    def lemma1_holds(self) -> bool:
+        """Lemma 1: at least ``⌈k/3⌉`` nodes are empty (for k >= 3)."""
+        k = self.size
+        if k < 3:
+            return True
+        return len(self.empty) >= math.ceil(k / 3)
+
+    def coverage_is_local(self, parent: Mapping[int, Optional[int]]) -> bool:
+        """Every empty node's coverer is its parent or a sibling (<= 2 hops)."""
+        for node, coverer in self.cover.items():
+            if parent.get(node) == coverer:
+                continue
+            if parent.get(node) is not None and parent.get(node) == parent.get(coverer):
+                continue
+            return False
+        return True
+
+
+def select_empty_nodes(
+    children: Mapping[int, Sequence[int]],
+    root: int,
+) -> EmptyNodeSelection:
+    """Run ``Empty_Node_Selection`` (Algorithm 1) on a rooted tree.
+
+    Parameters
+    ----------
+    children:
+        Ordered children lists (the order models the port / DFS-discovery order
+        that the on-line algorithm would see).  Every tree node must appear as a
+        key (leaves map to an empty sequence).
+    root:
+        The root node (depth 0).
+    """
+    # Depths via BFS.
+    depth: Dict[int, int] = {root: 0}
+    order: List[int] = [root]
+    head = 0
+    while head < len(order):
+        v = order[head]
+        head += 1
+        for c in children.get(v, ()):  # keep given order
+            if c in depth:
+                raise ValueError(f"node {c} appears twice; input is not a tree")
+            depth[c] = depth[v] + 1
+            order.append(c)
+    if set(children) - set(depth):
+        raise ValueError("children mapping contains nodes unreachable from the root")
+
+    parent: Dict[int, Optional[int]] = {root: None}
+    for v in order:
+        for c in children.get(v, ()):
+            parent[c] = v
+
+    is_leaf = {v: len(children.get(v, ())) == 0 for v in depth}
+
+    # Step 1: settle at even depths.
+    occupied: Set[int] = {v for v in depth if depth[v] % 2 == 0}
+
+    # Case A: remove extra settlers from leaf children (of odd-depth parents).
+    for v in order:
+        leaf_children = [c for c in children.get(v, ()) if is_leaf[c] and depth[c] % 2 == 0]
+        if len(leaf_children) <= 1:
+            continue
+        for position, c in enumerate(leaf_children, start=1):
+            if not keeps_settler_at_position(position):
+                occupied.discard(c)
+
+    # Case B: put new settlers on the 4th, 7th, ... children of settled
+    # even-depth non-leaf nodes.
+    for v in order:
+        if depth[v] % 2 != 0 or is_leaf[v]:
+            continue
+        kids = list(children.get(v, ()))
+        if len(kids) > 3:
+            for position, c in enumerate(kids, start=1):
+                if position >= 4 and position % 3 == 1:
+                    occupied.add(c)
+
+    empty = {v for v in depth if v not in occupied}
+
+    cover = _assign_cover(children, order, depth, is_leaf, occupied)
+    cover_sets: Dict[int, List[int]] = {}
+    for node, coverer in cover.items():
+        cover_sets.setdefault(coverer, []).append(node)
+
+    return EmptyNodeSelection(
+        root=root,
+        occupied=occupied,
+        empty=empty,
+        cover=cover,
+        cover_sets=cover_sets,
+        depth=depth,
+    )
+
+
+def _assign_cover(
+    children: Mapping[int, Sequence[int]],
+    order: Sequence[int],
+    depth: Mapping[int, int],
+    is_leaf: Mapping[int, bool],
+    occupied: Set[int],
+) -> Dict[int, int]:
+    """Assign every empty node to a covering settler (Lemma 3 / Figure 3).
+
+    Walking each node's children in order:
+
+    * Children at **odd depth** (parent ``v`` at even depth, hence occupied):
+      ``v`` covers its first up-to-3 empty children; every occupied child
+      encountered afterwards (the Case-B settlers at positions 4, 7, ...)
+      becomes the current *anchor*, covering up to 2 subsequent empty siblings.
+    * Children at **even depth** (parent at odd depth): only *leaf* children can
+      be empty (Case A removals).  Walking the leaf children only, each kept
+      (occupied) leaf anchors its group and covers up to 2 removed leaf
+      siblings.  Non-leaf children are always occupied and need no cover.
+    """
+    cover: Dict[int, int] = {}
+    for v in order:
+        kids = list(children.get(v, ()))
+        if not kids:
+            continue
+        children_at_odd_depth = depth[v] % 2 == 0
+        if children_at_odd_depth:
+            coverer = v
+            capacity = 3
+            for c in kids:
+                if c in occupied:
+                    coverer = c
+                    capacity = 2
+                    continue
+                if capacity <= 0:
+                    raise AssertionError(
+                        f"cover capacity exhausted at parent {v}; selection rules violated"
+                    )
+                cover[c] = coverer
+                capacity -= 1
+        else:
+            # Children at even depth: only leaf children may be empty.
+            coverer: Optional[int] = None
+            capacity = 0
+            for c in kids:
+                if not is_leaf[c]:
+                    continue
+                if c in occupied:
+                    coverer = c
+                    capacity = 2
+                    continue
+                if coverer is None or capacity <= 0:
+                    raise AssertionError(
+                        f"empty leaf {c} under parent {v} has no sibling anchor"
+                    )
+                cover[c] = coverer
+                capacity -= 1
+    return cover

@@ -1,0 +1,229 @@
+"""General (multi-root) SYNC dispersion (paper Theorem 8.1).
+
+Agents start on ``ℓ ≥ 2`` distinct nodes; each start node hosts one group that
+grows its own DFS tree with the rooted machinery of
+:class:`~repro.core.rooted_sync.RootedSyncDispersion` (seekers, empty nodes,
+oscillation, Sync_Probe).  The driver here coordinates the groups on one shared
+synchronous engine:
+
+* every group's smallest-ID agent settles on its start node up front, so the
+  probes of any other group physically detect those roots as occupied;
+* groups are grown one after another, largest first (see DESIGN.md §3: the
+  measured rounds of this serialized schedule are an upper bound on the truly
+  concurrent schedule, so the ``O(k)`` shape claim is checked conservatively);
+* a group whose entire frontier is occupied by other trees (possible only in
+  multi-root runs) fills the empty nodes of the tree it has built and then
+  *scatters* its leftover agents: the group walks, edge by edge, to the nearest
+  node that holds no settler and settles one agent there, repeating until all
+  are placed.  The size-based subsumption rule of the KS algorithm is provided
+  in :mod:`repro.core.subsumption` and exercised separately (the serialized
+  schedule never creates the large-meets-larger situation that requires a
+  collapse walk).
+
+Time is the shared engine's round counter over the whole execution; memory is
+accounted per agent exactly as in the rooted algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.agents.agent import Agent, AgentRole
+from repro.agents.memory import FieldKind, MemoryModel
+from repro.analysis.verification import is_dispersed
+from repro.core.rooted_sync import RootedSyncDispersion, SMALL_K_THRESHOLD
+from repro.graph.port_graph import PortLabeledGraph
+from repro.sim.result import DispersionResult
+from repro.sim.sync_engine import SyncEngine
+
+__all__ = ["GeneralSyncDispersion", "general_sync_dispersion"]
+
+
+def _normalize_placements(
+    graph: PortLabeledGraph, placements: Mapping[int, int]
+) -> Dict[int, int]:
+    total = 0
+    normalized: Dict[int, int] = {}
+    for node, count in placements.items():
+        if not (0 <= node < graph.num_nodes):
+            raise ValueError(f"placement node {node} is not in the graph")
+        if count < 1:
+            raise ValueError("every placement must contain at least one agent")
+        normalized[node] = count
+        total += count
+    if total > graph.num_nodes:
+        raise ValueError(f"k={total} agents cannot disperse on n={graph.num_nodes} nodes")
+    if len(normalized) < 1:
+        raise ValueError("need at least one start node")
+    return normalized
+
+
+class GeneralSyncDispersion:
+    """Driver for general initial configurations under SYNC (Theorem 8.1).
+
+    Parameters
+    ----------
+    graph:
+        The anonymous port-labeled graph.
+    placements:
+        Mapping ``start node -> number of agents`` (``ℓ`` keys, total ``k``).
+    wait_rounds, strict:
+        Forwarded to the per-group rooted machinery.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        placements: Mapping[int, int],
+        wait_rounds: int = 8,
+        strict: bool = True,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.placements = _normalize_placements(graph, placements)
+        self.k = sum(self.placements.values())
+        self.wait_rounds = wait_rounds
+        self.strict = strict
+
+        self.memory_model = MemoryModel(k=self.k, max_degree=graph.max_degree)
+        self.agents: Dict[int, Agent] = {}
+        self.groups: Dict[int, List[Agent]] = {}
+        next_id = 1
+        for node in sorted(self.placements):
+            members = []
+            for _ in range(self.placements[node]):
+                agent = Agent(next_id, node, self.memory_model)
+                self.agents[next_id] = agent
+                members.append(agent)
+                next_id += 1
+            self.groups[node] = members
+        if max_rounds is None:
+            max_rounds = 600 * (self.k + 4) * max(1, wait_rounds) // 4 + 20 * graph.num_nodes + 4000
+        self.engine = SyncEngine(graph, self.agents.values(), max_rounds=max_rounds)
+        self.metrics = self.engine.metrics
+        #: Nodes belonging to any finished / parked tree (shared ground truth
+        #: handed to each group's strict-mode checks as ``foreign_visited``).
+        self.all_visited: Set[int] = set()
+        self.dfs_parent: List[Optional[int]] = [None] * graph.num_nodes
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> DispersionResult:
+        group_drivers: List[Tuple[int, List[Agent], Optional[RootedSyncDispersion]]] = []
+        # Phase 0: every group settles its smallest agent on its root immediately
+        # (a time-0 action in the paper), so other groups' probes see it.
+        for node, members in sorted(
+            self.groups.items(), key=lambda item: -len(item[1])
+        ):
+            if len(members) >= SMALL_K_THRESHOLD:
+                driver = RootedSyncDispersion(
+                    self.graph,
+                    k=len(members),
+                    start_node=node,
+                    wait_rounds=self.wait_rounds,
+                    strict=self.strict,
+                    engine=self.engine,
+                    agents={a.agent_id: a for a in members},
+                    foreign_visited=self.all_visited,
+                    probe_cap=self.k,
+                )
+                driver.settle_root()
+            else:
+                driver = None
+                smallest = min(members, key=lambda a: a.agent_id)
+                smallest.settle(node, None)
+            self.all_visited.add(node)
+            group_drivers.append((node, members, driver))
+
+        # Phase 1: grow the trees, largest group first.
+        leftovers: List[Tuple[int, List[Agent]]] = []
+        for node, members, driver in group_drivers:
+            if driver is not None:
+                remaining = driver.run_group()
+                self.all_visited.update(driver.visited)
+                for v, parent in enumerate(driver.dfs_parent):
+                    if parent is not None:
+                        self.dfs_parent[v] = parent
+                self.metrics.bump("groups_grown")
+            else:
+                remaining = [a for a in members if not a.settled]
+            if remaining:
+                leftovers.append((node, remaining))
+
+        # Phase 2: scatter any leftover agents (blocked groups, tiny groups).
+        for node, remaining in leftovers:
+            self._scatter(remaining)
+
+        metrics = self.engine.finalize_metrics()
+        return DispersionResult(
+            dispersed=is_dispersed(self.agents.values()),
+            positions=self.engine.positions(),
+            metrics=metrics,
+            dfs_parent=list(self.dfs_parent),
+            algorithm="GeneralSyncDisp",
+            notes={
+                "k": self.k,
+                "roots": len(self.placements),
+                "wait_rounds": self.wait_rounds,
+            },
+        )
+
+    # --------------------------------------------------------------- scatter
+    def _free_node(self, node: int) -> bool:
+        """A node is free when no settled agent calls it home."""
+        return not any(a.settled and a.home == node for a in self.engine.agents_at(node))
+
+    def _path_to_nearest_free(self, start: int) -> Optional[List[int]]:
+        """BFS (simulator-side pathfinding, see DESIGN.md §3) to the closest free
+        node; returns the list of ports to traverse, or ``None`` if no free node
+        exists (impossible while unsettled agents remain, since ``k ≤ n``)."""
+        if self._free_node(start):
+            return []
+        seen = {start}
+        queue = deque([(start, [])])
+        while queue:
+            current, ports = queue.popleft()
+            for port in self.graph.ports(current):
+                nxt = self.graph.neighbor(current, port)
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                path = ports + [port]
+                if self._free_node(nxt):
+                    return path
+                queue.append((nxt, path))
+        return None
+
+    def _scatter(self, agents: Sequence[Agent]) -> None:
+        """Walk a leftover group to free nodes one at a time and settle them.
+
+        Every move is a real engine round; only the route planning is
+        simulator-assisted (a plain DFS over occupied nodes would find the same
+        nodes within the same asymptotic budget, see DESIGN.md §3).
+        """
+        group = [a for a in agents if not a.settled]
+        while group:
+            head = group[0].position
+            path = self._path_to_nearest_free(head)
+            if path is None:
+                raise RuntimeError("no free node left although agents remain unsettled")
+            current = head
+            for port in path:
+                moves = {a.agent_id: port for a in group}
+                self.engine.step(moves)
+                current = self.graph.neighbor(current, port)
+                self.metrics.bump("scatter_moves")
+            settler = min(group, key=lambda a: a.agent_id)
+            settler.settle(current, None)
+            self.all_visited.add(current)
+            self.metrics.bump("scatter_settled")
+            group = [a for a in group if not a.settled]
+
+
+def general_sync_dispersion(
+    graph: PortLabeledGraph,
+    placements: Mapping[int, int],
+    **kwargs,
+) -> DispersionResult:
+    """Convenience wrapper: run Theorem 8.1's driver and return the result."""
+    return GeneralSyncDispersion(graph, placements, **kwargs).run()

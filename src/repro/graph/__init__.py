@@ -1,0 +1,25 @@
+"""Anonymous port-labeled graph substrate.
+
+The dispersion algorithms of the paper run on *anonymous* graphs: nodes carry no
+identifiers the agents may use, but the edges incident to each node ``v`` are
+locally labeled with distinct *port numbers* ``1..deg(v)``.  The two endpoints of
+an edge label it independently.  This package provides that substrate:
+
+* :class:`~repro.graph.port_graph.PortLabeledGraph` -- the immutable graph object
+  agents walk on, exposing only port-level navigation,
+* :mod:`repro.graph.generators` -- a topology zoo used throughout tests,
+  examples, and benchmarks,
+* :mod:`repro.graph.properties` -- structural helpers (degree statistics,
+  diameter, tree utilities) used by the analysis layer.
+"""
+
+from repro.graph.port_graph import PortLabeledGraph, PortAssignment
+from repro.graph import generators
+from repro.graph import properties
+
+__all__ = [
+    "PortLabeledGraph",
+    "PortAssignment",
+    "generators",
+    "properties",
+]

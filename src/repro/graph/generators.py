@@ -1,0 +1,294 @@
+"""Topology zoo used by tests, examples and benchmarks.
+
+Every generator returns a :class:`~repro.graph.port_graph.PortLabeledGraph`.
+The families are chosen to stress the quantities that appear in the paper's
+bounds:
+
+* **line / ring** -- the ``Ω(k)`` lower-bound instances (Section 1),
+* **star / complete / broom** -- maximum-degree stress for the probing
+  primitives (``Δ = Θ(k)``),
+* **trees (binary, random, caterpillar)** -- the empty-node selection and
+  oscillation machinery of Section 5 operates on DFS *trees*,
+* **grid / hypercube / random regular / Erdős–Rényi** -- "arbitrary graph"
+  workloads for the end-to-end Table-1 comparisons,
+* **barbell / lollipop** -- graphs where ``m = Θ(n²)`` while ``k`` may be small,
+  separating ``O(min{m, kΔ})`` baselines from the ``O(k)`` / ``O(k log k)``
+  algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.graph.port_graph import PortAssignment, PortLabeledGraph
+
+__all__ = [
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "binary_tree",
+    "random_tree",
+    "caterpillar",
+    "broom",
+    "spider",
+    "grid2d",
+    "hypercube",
+    "erdos_renyi",
+    "random_regular",
+    "barbell",
+    "lollipop",
+    "from_networkx",
+    "from_edges",
+]
+
+
+def _build(adjacency: Sequence[Sequence[int]], assignment: PortAssignment, seed: int | None) -> PortLabeledGraph:
+    return PortLabeledGraph(adjacency, assignment=assignment, seed=seed)
+
+
+def from_edges(
+    n: int,
+    edges: Sequence[tuple[int, int]],
+    assignment: PortAssignment = PortAssignment.ADJACENCY,
+    seed: int | None = None,
+) -> PortLabeledGraph:
+    """Build a graph from an explicit edge list on nodes ``0..n-1``."""
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    seen = set()
+    for u, v in edges:
+        if u == v:
+            raise ValueError(f"self loop {u}")
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    return _build(adjacency, assignment, seed)
+
+
+def line(n: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Path graph on ``n`` nodes -- the canonical ``Ω(k)`` dispersion instance."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return from_edges(n, edges, assignment, seed)
+
+
+def ring(n: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Cycle graph on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return from_edges(n, edges, assignment, seed)
+
+
+def star(n: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Star with hub 0 and ``n - 1`` leaves: ``Δ = n - 1``."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    edges = [(0, i) for i in range(1, n)]
+    return from_edges(n, edges, assignment, seed)
+
+
+def complete(n: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Complete graph ``K_n``: ``m = Θ(n²)``, ``Δ = n - 1``."""
+    if n < 2:
+        raise ValueError("complete needs n >= 2")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return from_edges(n, edges, assignment, seed)
+
+
+def binary_tree(depth: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Complete binary tree of the given depth (root at node 0)."""
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    edges = []
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                edges.append((i, child))
+    return from_edges(n, edges, assignment, seed)
+
+
+def random_tree(n: int, seed: int = 0, assignment: PortAssignment = PortAssignment.ADJACENCY) -> PortLabeledGraph:
+    """Uniform-ish random tree built by random attachment (seeded)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    return from_edges(n, edges, assignment, seed)
+
+
+def caterpillar(spine: int, legs_per_node: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Caterpillar tree: a spine path with ``legs_per_node`` leaves per spine node.
+
+    Exercises the "branching node at odd/even depth" cases of Algorithm 1.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("spine >= 1 and legs_per_node >= 0 required")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_node = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((i, next_node))
+            next_node += 1
+    return from_edges(next_node, edges, assignment, seed)
+
+
+def broom(handle: int, bristles: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """A path of length ``handle`` ending in a star with ``bristles`` leaves.
+
+    Combines the line lower bound with a high-degree node at the far end.
+    """
+    if handle < 1 or bristles < 1:
+        raise ValueError("handle >= 1 and bristles >= 1 required")
+    edges = [(i, i + 1) for i in range(handle - 1)]
+    hub = handle - 1
+    next_node = handle
+    for _ in range(bristles):
+        edges.append((hub, next_node))
+        next_node += 1
+    return from_edges(next_node, edges, assignment, seed)
+
+
+def spider(legs: int, leg_length: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """A spider: ``legs`` paths of ``leg_length`` nodes joined at a hub (node 0)."""
+    if legs < 1 or leg_length < 1:
+        raise ValueError("legs >= 1 and leg_length >= 1 required")
+    edges = []
+    next_node = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            edges.append((prev, next_node))
+            prev = next_node
+            next_node += 1
+    return from_edges(next_node, edges, assignment, seed)
+
+
+def grid2d(rows: int, cols: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """2-D grid graph ``rows x cols``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows, cols >= 1 required")
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((nid(r, c), nid(r + 1, c)))
+    return from_edges(rows * cols, edges, assignment, seed)
+
+
+def hypercube(dim: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Hypercube on ``2**dim`` nodes."""
+    if dim < 1:
+        raise ValueError("dim >= 1 required")
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if v < u:
+                edges.append((v, u))
+    return from_edges(n, edges, assignment, seed)
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    seed: int = 0,
+    assignment: PortAssignment = PortAssignment.ADJACENCY,
+) -> PortLabeledGraph:
+    """Connected Erdős–Rényi ``G(n, p)`` (a spanning tree is added if needed)."""
+    if n < 1:
+        raise ValueError("n >= 1 required")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    edges = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                edges.add((i, j))
+    # Guarantee connectivity by threading a random spanning tree through the
+    # nodes (standard trick; keeps the degree distribution close to G(n, p)).
+    order = list(range(n))
+    rng.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        edges.add((min(a, b), max(a, b)))
+    return from_edges(n, sorted(edges), assignment, seed)
+
+
+def random_regular(n: int, d: int, seed: int = 0, assignment: PortAssignment = PortAssignment.ADJACENCY) -> PortLabeledGraph:
+    """Random ``d``-regular graph via networkx (connected; retries seeds)."""
+    import networkx as nx
+
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph")
+    for attempt in range(50):
+        g = nx.random_regular_graph(d, n, seed=seed + attempt)
+        if nx.is_connected(g):
+            return from_networkx(g, assignment=assignment, seed=seed)
+    raise RuntimeError("could not generate a connected random regular graph")
+
+
+def barbell(clique: int, path: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Two cliques of size ``clique`` joined by a path of ``path`` nodes."""
+    if clique < 2:
+        raise ValueError("clique >= 2 required")
+    edges = []
+    # Left clique: 0..clique-1, right clique: clique+path..2*clique+path-1.
+    for i in range(clique):
+        for j in range(i + 1, clique):
+            edges.append((i, j))
+    offset = clique + path
+    for i in range(clique):
+        for j in range(i + 1, clique):
+            edges.append((offset + i, offset + j))
+    # Path between node clique-1 and node offset.
+    prev = clique - 1
+    for t in range(path):
+        edges.append((prev, clique + t))
+        prev = clique + t
+    edges.append((prev, offset))
+    return from_edges(2 * clique + path, edges, assignment, seed)
+
+
+def lollipop(clique: int, path: int, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """A clique of size ``clique`` with a path of ``path`` nodes attached."""
+    if clique < 2 or path < 0:
+        raise ValueError("clique >= 2 and path >= 0 required")
+    edges = []
+    for i in range(clique):
+        for j in range(i + 1, clique):
+            edges.append((i, j))
+    prev = clique - 1
+    for t in range(path):
+        edges.append((prev, clique + t))
+        prev = clique + t
+    return from_edges(clique + path, edges, assignment, seed)
+
+
+def from_networkx(g, assignment: PortAssignment = PortAssignment.ADJACENCY, seed: int | None = None) -> PortLabeledGraph:
+    """Convert a networkx graph (nodes relabeled to ``0..n-1`` in sorted order)."""
+    import networkx as nx
+
+    if g.is_directed():
+        raise ValueError("expected an undirected graph")
+    if not nx.is_connected(g):
+        raise ValueError("expected a connected graph")
+    nodes = sorted(g.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    adjacency: List[List[int]] = [[] for _ in nodes]
+    for v in nodes:
+        adjacency[index[v]] = [index[u] for u in sorted(g.neighbors(v), key=lambda x: index[x])]
+    return PortLabeledGraph(adjacency, assignment=assignment, seed=seed)

@@ -1,0 +1,129 @@
+"""Structural graph properties used by the analysis layer.
+
+These helpers are *simulator-side*: they inspect the whole graph at once, which
+agents in the model cannot do.  They are used to characterize workloads (the
+``m``, ``Δ``, ``D`` parameters that appear in the bounds of Table 1) and to
+verify structural invariants in tests -- never inside the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.port_graph import PortLabeledGraph
+
+__all__ = [
+    "GraphProfile",
+    "profile",
+    "eccentricity",
+    "tree_depths",
+    "tree_children",
+    "is_valid_tree_rooted_at",
+]
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """The workload parameters that appear in the paper's bounds."""
+
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    min_degree: int
+    mean_degree: float
+    diameter: int
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the benchmark reports)."""
+        return (
+            f"n={self.num_nodes} m={self.num_edges} Δ={self.max_degree} "
+            f"δ_min={self.min_degree} mean_deg={self.mean_degree:.2f} D={self.diameter}"
+        )
+
+
+def profile(graph: PortLabeledGraph, with_diameter: bool = True) -> GraphProfile:
+    """Compute the :class:`GraphProfile` of ``graph``.
+
+    ``with_diameter=False`` skips the O(n·m) diameter computation for large
+    benchmark graphs where only degree statistics are needed.
+    """
+    degrees = [graph.degree(v) for v in graph.nodes()]
+    diameter = graph.diameter() if with_diameter else -1
+    return GraphProfile(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=max(degrees),
+        min_degree=min(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+        diameter=diameter,
+    )
+
+
+def eccentricity(graph: PortLabeledGraph, v: int) -> int:
+    """Eccentricity of node ``v`` (max hop distance to any node)."""
+    return max(graph.bfs_distances(v))
+
+
+def tree_depths(parent: Sequence[Optional[int]], root: int) -> List[int]:
+    """Depths of every node of a tree given a parent array (root depth 0).
+
+    ``parent[v]`` is the parent node of ``v`` (``None`` for the root and for
+    nodes not in the tree, which receive depth ``-1``).
+    """
+    n = len(parent)
+    depth = [-1] * n
+    depth[root] = 0
+    # Children adjacency for a single BFS pass.
+    children: Dict[int, List[int]] = {}
+    for v, p in enumerate(parent):
+        if p is not None:
+            children.setdefault(p, []).append(v)
+    queue = [root]
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for c in children.get(v, []):
+            depth[c] = depth[v] + 1
+            queue.append(c)
+    return depth
+
+
+def tree_children(parent: Sequence[Optional[int]], root: int) -> Dict[int, List[int]]:
+    """Children lists of a tree given as a parent array."""
+    children: Dict[int, List[int]] = {root: []}
+    for v, p in enumerate(parent):
+        if p is not None:
+            children.setdefault(p, []).append(v)
+            children.setdefault(v, [])
+    return children
+
+
+def is_valid_tree_rooted_at(
+    parent: Sequence[Optional[int]], root: int, members: Sequence[int]
+) -> bool:
+    """Check that ``members`` form a tree rooted at ``root`` under ``parent``.
+
+    Used by tests to validate DFS trees produced by the algorithms: every member
+    except the root has a parent that is also a member, there are no cycles, and
+    every member reaches the root by following parents.
+    """
+    member_set = set(members)
+    if root not in member_set:
+        return False
+    for v in members:
+        if v == root:
+            if parent[v] is not None:
+                return False
+            continue
+        seen = set()
+        cur: Optional[int] = v
+        while cur is not None and cur != root:
+            if cur in seen or cur not in member_set:
+                return False
+            seen.add(cur)
+            cur = parent[cur]
+        if cur != root:
+            return False
+    return True

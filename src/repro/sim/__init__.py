@@ -1,0 +1,26 @@
+"""Execution substrates: synchronous round engine and asynchronous CCM scheduler."""
+
+from repro.sim.sync_engine import SyncEngine
+from repro.sim.async_engine import AsyncEngine, Move, Stay, WaitUntil
+from repro.sim.adversary import (
+    Adversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    StarvationAdversary,
+)
+from repro.sim.metrics import RunMetrics
+from repro.sim.result import DispersionResult
+
+__all__ = [
+    "SyncEngine",
+    "AsyncEngine",
+    "Move",
+    "Stay",
+    "WaitUntil",
+    "Adversary",
+    "RandomAdversary",
+    "RoundRobinAdversary",
+    "StarvationAdversary",
+    "RunMetrics",
+    "DispersionResult",
+]

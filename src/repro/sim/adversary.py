@@ -1,0 +1,118 @@
+"""Adversarial activation schedulers for the ASYNC setting.
+
+In ASYNC agents become active at arbitrary times; the only fairness guarantee is
+that every agent is activated infinitely often.  Time is measured in *epochs*
+(the smallest interval within which every agent completes at least one CCM
+cycle), so the adversary controls how much wall-clock work happens per epoch but
+not the epoch count semantics.
+
+The algorithms of the paper must meet their epoch bounds against *every*
+adversary.  The benchmarks therefore run each ASYNC algorithm under several
+policies:
+
+* :class:`RandomAdversary` -- uniformly random agent each activation,
+* :class:`RoundRobinAdversary` -- cyclic order (the "most synchronous" adversary),
+* :class:`StarvationAdversary` -- a chosen set of victim agents is activated only
+  once for every ``slowdown`` activations of the others, which stretches every
+  epoch and stresses the waiting logic of ``Async_Probe``/``Guest_See_Off``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, List, Optional, Sequence, Set
+
+__all__ = [
+    "Adversary",
+    "RandomAdversary",
+    "RoundRobinAdversary",
+    "StarvationAdversary",
+]
+
+
+class Adversary(abc.ABC):
+    """Chooses which agent performs the next CCM cycle."""
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        """Called once by the engine with the full set of agent ids."""
+        self.agent_ids = list(agent_ids)
+
+    @abc.abstractmethod
+    def next_agent(self) -> int:
+        """Return the id of the agent to activate next."""
+
+
+class RandomAdversary(Adversary):
+    """Uniformly random activations (seeded, reproducible)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def next_agent(self) -> int:
+        return self._rng.choice(self.agent_ids)
+
+
+class RoundRobinAdversary(Adversary):
+    """Cyclic activation order; every epoch is exactly one pass over the agents."""
+
+    def __init__(self) -> None:
+        self._index = 0
+
+    def next_agent(self) -> int:
+        agent = self.agent_ids[self._index % len(self.agent_ids)]
+        self._index += 1
+        return agent
+
+
+class StarvationAdversary(Adversary):
+    """Starve a set of victims: they act once per ``slowdown`` non-victim passes.
+
+    ``victims`` may be given as explicit agent ids or as ``"largest"`` /
+    ``"smallest"`` to starve the agents with the largest (the leader ``a_max``)
+    or smallest ids.  Epoch counts are unaffected by *how slow* the victims are
+    (an epoch ends only when every agent has acted), so this adversary checks
+    that the algorithms' epoch bounds hold when the leader or the helpers are the
+    bottleneck.
+    """
+
+    def __init__(
+        self,
+        victims: Iterable[int] | str = "largest",
+        num_victims: int = 1,
+        slowdown: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+        self._victims_spec = victims
+        self._num_victims = num_victims
+        self._slowdown = slowdown
+        self._rng = random.Random(seed)
+        self._victims: Set[int] = set()
+        self._others: List[int] = []
+        self._counter = 0
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        super().bind(agent_ids)
+        ordered = sorted(agent_ids)
+        if isinstance(self._victims_spec, str):
+            if self._victims_spec == "largest":
+                self._victims = set(ordered[-self._num_victims:])
+            elif self._victims_spec == "smallest":
+                self._victims = set(ordered[: self._num_victims])
+            else:
+                raise ValueError(f"unknown victim spec {self._victims_spec!r}")
+        else:
+            self._victims = set(self._victims_spec)
+        self._others = [a for a in agent_ids if a not in self._victims]
+        if not self._others:
+            # Everyone is a victim: degenerate to random activations.
+            self._others = list(agent_ids)
+            self._victims = set()
+
+    def next_agent(self) -> int:
+        self._counter += 1
+        if self._victims and self._counter % (self._slowdown * max(1, len(self._others))) == 0:
+            return self._rng.choice(sorted(self._victims))
+        return self._rng.choice(self._others)

@@ -1,0 +1,225 @@
+"""Asynchronous execution engine (the paper's ASYNC setting).
+
+Agents have no common notion of time.  An *activation* is one full
+Communicate–Compute–Move cycle of a single agent; the adversary
+(:mod:`repro.sim.adversary`) decides who is activated next, subject only to the
+fairness guarantee that every agent is activated infinitely often.  Time is
+measured in *epochs*: epoch ``i`` is the smallest interval after epoch ``i-1``
+within which every agent has completed at least one cycle.  The engine counts
+epochs exactly that way -- the algorithms never self-report time.
+
+Algorithms drive agents through small *programs*: Python generators that yield
+one action per CCM cycle.  Three actions exist:
+
+* :class:`Move` -- exit the current node through a port (one edge per cycle),
+* :class:`Stay` -- a cycle with no movement (pure compute/communicate),
+* :class:`WaitUntil` -- remain at the node until a locally-observable predicate
+  becomes true; every failed check consumes one cycle, which is how the paper's
+  algorithms "wait for all probers to return" under asynchrony.
+
+Program code runs only while its agent is activated, so any reads/writes it
+performs against co-located agents model the Communicate/Compute phases of that
+agent's own cycle.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Iterable, Iterator, List, Optional, Set, Union
+
+from repro.agents.agent import Agent
+from repro.graph.port_graph import PortLabeledGraph
+from repro.sim.adversary import Adversary, RandomAdversary
+from repro.sim.metrics import RunMetrics
+
+__all__ = ["Move", "Stay", "WaitUntil", "AsyncEngine"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Exit the current node through ``port`` this cycle."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class Stay:
+    """A cycle in which the agent does not move."""
+
+
+@dataclass(frozen=True)
+class WaitUntil:
+    """Block at the current node until ``predicate()`` is true.
+
+    The predicate must depend only on information observable at the agent's
+    node (co-located agents' memory and the agent's own state); every check
+    consumes one activation of the waiting agent.
+    """
+
+    predicate: Callable[[], bool]
+
+
+Action = Union[Move, Stay, WaitUntil]
+Program = Iterator[Action]
+
+
+class AsyncEngine:
+    """Activation-level scheduler for ASYNC executions.
+
+    Parameters
+    ----------
+    graph, agents:
+        The substrate and population, as for :class:`~repro.sim.sync_engine.SyncEngine`.
+    adversary:
+        Activation policy; defaults to :class:`RandomAdversary` with seed 0.
+    max_activations:
+        Safety cap turning livelock bugs into test failures.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        agents: Iterable[Agent],
+        adversary: Optional[Adversary] = None,
+        max_activations: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.agents: Dict[int, Agent] = {}
+        self._occupancy: Dict[int, Set[int]] = defaultdict(set)
+        for agent in agents:
+            if agent.agent_id in self.agents:
+                raise ValueError(f"duplicate agent id {agent.agent_id}")
+            self.agents[agent.agent_id] = agent
+            self._occupancy[agent.position].add(agent.agent_id)
+        if not self.agents:
+            raise ValueError("need at least one agent")
+        self.adversary = adversary if adversary is not None else RandomAdversary(0)
+        self.adversary.bind(sorted(self.agents))
+        self.max_activations = max_activations
+
+        self.metrics = RunMetrics()
+        self._moves_per_agent: Dict[int, int] = defaultdict(int)
+        self._programs: Dict[int, Optional[Program]] = {a: None for a in self.agents}
+        self._pending: Dict[int, Optional[Action]] = {a: None for a in self.agents}
+        self._active_this_epoch: Set[int] = set()
+
+    # ------------------------------------------------------------- programs
+    def assign(self, agent_id: int, program: Program) -> None:
+        """Install a program on an agent (overwrites any previous program).
+
+        By convention the caller is an algorithm acting on behalf of an agent
+        co-located with ``agent_id`` (writing its memory during the Communicate
+        phase), or the initial setup before time starts.
+        """
+        self._programs[agent_id] = program
+        self._pending[agent_id] = None
+
+    def is_idle(self, agent_id: int) -> bool:
+        """True when the agent has no program and no pending action."""
+        return self._programs[agent_id] is None and self._pending[agent_id] is None
+
+    def cancel(self, agent_id: int) -> None:
+        """Drop an agent's pending program/action (the instructing agent is
+        co-located and rewrites its orders, e.g. a see-off escort that is no
+        longer needed)."""
+        self._programs[agent_id] = None
+        self._pending[agent_id] = None
+
+    # ------------------------------------------------------------ scheduling
+    @property
+    def epochs(self) -> int:
+        """Completed epochs so far (see :meth:`close_epoch` for the final partial one)."""
+        return self.metrics.epochs
+
+    def run_until(self, predicate: Callable[[], bool], check_every: int = 1) -> None:
+        """Activate agents (per the adversary) until ``predicate()`` is true."""
+        checks = 0
+        while not predicate():
+            agent_id = self.adversary.next_agent()
+            self._activate(agent_id)
+            checks += 1
+            if self.max_activations is not None and self.metrics.activations > self.max_activations:
+                raise RuntimeError(
+                    f"exceeded max_activations={self.max_activations}; "
+                    "the algorithm is probably livelocked"
+                )
+        self.close_epoch()
+
+    def close_epoch(self) -> None:
+        """Count a trailing partial epoch (conservative rounding up)."""
+        if self._active_this_epoch:
+            self.metrics.epochs += 1
+            self._active_this_epoch.clear()
+
+    def _activate(self, agent_id: int) -> None:
+        agent = self.agents[agent_id]
+        self.metrics.activations += 1
+
+        action = self._pending[agent_id]
+        if action is None:
+            program = self._programs[agent_id]
+            if program is not None:
+                try:
+                    action = next(program)
+                except StopIteration:
+                    self._programs[agent_id] = None
+                    action = None
+        if action is not None:
+            if isinstance(action, Move):
+                self._move(agent, action.port)
+                self._pending[agent_id] = None
+            elif isinstance(action, Stay):
+                self._pending[agent_id] = None
+            elif isinstance(action, WaitUntil):
+                if action.predicate():
+                    self._pending[agent_id] = None
+                else:
+                    self._pending[agent_id] = action
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown action {action!r}")
+
+        # Epoch bookkeeping: this agent completed one CCM cycle.
+        self._active_this_epoch.add(agent_id)
+        if len(self._active_this_epoch) == len(self.agents):
+            self.metrics.epochs += 1
+            self._active_this_epoch.clear()
+
+    def _move(self, agent: Agent, port: int) -> None:
+        src = agent.position
+        dst = self.graph.neighbor(src, port)
+        rev = self.graph.reverse_port(src, port)
+        self._occupancy[src].discard(agent.agent_id)
+        agent.arrive(dst, rev)
+        self._occupancy[dst].add(agent.agent_id)
+        self.metrics.total_moves += 1
+        self._moves_per_agent[agent.agent_id] += 1
+        self.metrics.max_moves_per_agent = max(
+            self.metrics.max_moves_per_agent, self._moves_per_agent[agent.agent_id]
+        )
+
+    # ------------------------------------------------------------ observation
+    def agents_at(self, node: int) -> List[Agent]:
+        """Agents currently positioned at ``node``."""
+        return [self.agents[a] for a in sorted(self._occupancy.get(node, ()))]
+
+    def settled_agent_at(self, node: int) -> Optional[Agent]:
+        """The settled agent whose current position is ``node`` (if any)."""
+        for agent in self.agents_at(node):
+            if agent.settled:
+                return agent
+        return None
+
+    def settled_agents_at(self, node: int) -> List[Agent]:
+        """All settled agents currently positioned at ``node``."""
+        return [a for a in self.agents_at(node) if a.settled]
+
+    def positions(self) -> Dict[int, int]:
+        """Snapshot of ``agent_id -> node``."""
+        return {a.agent_id: a.position for a in self.agents.values()}
+
+    def finalize_metrics(self) -> RunMetrics:
+        """Fold per-agent memory peaks into the run metrics and return them."""
+        self.close_epoch()
+        self.metrics.record_memory(self.agents.values())
+        return self.metrics

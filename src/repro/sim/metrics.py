@@ -1,0 +1,53 @@
+"""Run-level metrics collected by the engines and reported by the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.agents.agent import Agent
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Counters describing one execution of a dispersion algorithm.
+
+    ``rounds`` is meaningful for SYNC runs, ``epochs``/``activations`` for ASYNC
+    runs; the other fields apply to both.  ``extra`` holds algorithm-specific
+    counters (e.g. number of probe calls, probe iterations, subsumption events)
+    that the benchmarks report alongside the headline time figure.
+    """
+
+    rounds: int = 0
+    epochs: int = 0
+    activations: int = 0
+    total_moves: int = 0
+    max_moves_per_agent: int = 0
+    peak_memory_bits: int = 0
+    peak_memory_log_units: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def record_memory(self, agents: Iterable[Agent]) -> None:
+        """Fold the per-agent peak memory into the run metrics."""
+        peak = 0
+        peak_units = 0.0
+        for agent in agents:
+            peak = max(peak, agent.memory.peak_bits)
+            peak_units = max(peak_units, agent.memory.peak_in_log_units())
+        self.peak_memory_bits = max(self.peak_memory_bits, peak)
+        self.peak_memory_log_units = max(self.peak_memory_log_units, peak_units)
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        """Increment an algorithm-specific counter."""
+        self.extra[name] = self.extra.get(name, 0.0) + amount
+
+    def set_extra(self, name: str, value: float) -> None:
+        """Set an algorithm-specific gauge."""
+        self.extra[name] = value
+
+    @property
+    def time(self) -> int:
+        """The headline time figure: rounds if synchronous, else epochs."""
+        return self.rounds if self.rounds else self.epochs

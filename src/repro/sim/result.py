@@ -1,0 +1,57 @@
+"""The result object returned by every dispersion algorithm in this package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.agents.agent import Agent
+from repro.sim.metrics import RunMetrics
+
+__all__ = ["DispersionResult"]
+
+
+@dataclass
+class DispersionResult:
+    """Outcome of running a dispersion algorithm.
+
+    Attributes
+    ----------
+    dispersed:
+        True when every agent is settled on a distinct node (verified against
+        the simulator's ground truth, not self-reported by the algorithm).
+    positions:
+        Final ``agent_id -> node`` mapping.
+    metrics:
+        Time / movement / memory counters for the run.
+    dfs_parent:
+        For DFS-based algorithms, the parent node of every node in the final
+        DFS forest (``None`` for roots and unvisited nodes).  Exposed for tests
+        and analysis of the tree-shaped invariants (Lemmas 1–3, 7).
+    algorithm:
+        Short name of the algorithm that produced this result.
+    notes:
+        Free-form diagnostic entries (e.g. number of subsumption events).
+    """
+
+    dispersed: bool
+    positions: Dict[int, int]
+    metrics: RunMetrics
+    dfs_parent: Optional[List[Optional[int]]] = None
+    algorithm: str = ""
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def time(self) -> int:
+        """Headline time figure (rounds for SYNC, epochs for ASYNC)."""
+        return self.metrics.time
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by examples and benchmarks."""
+        unit = "rounds" if self.metrics.rounds else "epochs"
+        return (
+            f"{self.algorithm or 'dispersion'}: dispersed={self.dispersed} "
+            f"time={self.time} {unit} moves={self.metrics.total_moves} "
+            f"peak_mem={self.metrics.peak_memory_bits} bits "
+            f"({self.metrics.peak_memory_log_units:.2f}·log2(k+Δ))"
+        )

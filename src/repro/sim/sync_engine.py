@@ -1,0 +1,137 @@
+"""Synchronous execution engine (the paper's SYNC setting).
+
+In SYNC every agent executes its Communicate–Compute–Move cycle in lockstep:
+one *round* consists of every agent optionally crossing one incident edge, all
+moves happening simultaneously.  The engine therefore exposes a single
+primitive, :meth:`SyncEngine.step`, which takes the batch of moves for this
+round (``agent_id -> port``), executes them in parallel, and advances the round
+counter.  Time complexity of a SYNC algorithm is exactly the number of
+``step`` calls it makes -- it is never self-reported.
+
+The engine also provides the co-location queries that implement the local
+communication model: an agent may inspect (and, by convention of the
+algorithms, write to) the memory of agents at its own node only.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.agents.agent import Agent
+from repro.graph.port_graph import PortLabeledGraph
+from repro.sim.metrics import RunMetrics
+
+__all__ = ["SyncEngine"]
+
+
+class SyncEngine:
+    """Round-synchronous mover for a set of agents on a port-labeled graph.
+
+    Parameters
+    ----------
+    graph:
+        The anonymous port-labeled graph.
+    agents:
+        The agents, each already carrying its start position.
+    max_rounds:
+        Safety cap; exceeding it raises ``RuntimeError`` (used by tests to turn
+        non-termination bugs into failures instead of hangs).
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        agents: Iterable[Agent],
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.agents: Dict[int, Agent] = {}
+        self._occupancy: Dict[int, Set[int]] = defaultdict(set)
+        for agent in agents:
+            if agent.agent_id in self.agents:
+                raise ValueError(f"duplicate agent id {agent.agent_id}")
+            self.agents[agent.agent_id] = agent
+            self._occupancy[agent.position].add(agent.agent_id)
+        if not self.agents:
+            raise ValueError("need at least one agent")
+        self.metrics = RunMetrics()
+        self._moves_per_agent: Dict[int, int] = defaultdict(int)
+        self.max_rounds = max_rounds
+
+    # ----------------------------------------------------------------- round
+    @property
+    def round(self) -> int:
+        """Number of completed rounds."""
+        return self.metrics.rounds
+
+    def step(self, moves: Mapping[int, Optional[int]] | None = None) -> None:
+        """Execute one synchronous round.
+
+        ``moves`` maps agent id to the port it exits through this round; agents
+        absent from the mapping (or mapped to ``None``) stay put.  All moves are
+        validated against the *current* positions and then applied
+        simultaneously, exactly as in the SYNC model (no agent observes another
+        on an edge).
+        """
+        if self.max_rounds is not None and self.metrics.rounds >= self.max_rounds:
+            raise RuntimeError(
+                f"exceeded max_rounds={self.max_rounds}; "
+                "the algorithm is probably not terminating"
+            )
+        planned: List[tuple[Agent, int, int, int]] = []  # agent, src, dst, rev_port
+        if moves:
+            for agent_id, port in moves.items():
+                if port is None:
+                    continue
+                agent = self.agents[agent_id]
+                src = agent.position
+                dst = self.graph.neighbor(src, port)
+                rev = self.graph.reverse_port(src, port)
+                planned.append((agent, src, dst, rev))
+        # Apply simultaneously.
+        for agent, src, dst, rev in planned:
+            self._occupancy[src].discard(agent.agent_id)
+        for agent, src, dst, rev in planned:
+            agent.arrive(dst, rev)
+            self._occupancy[dst].add(agent.agent_id)
+            self.metrics.total_moves += 1
+            self._moves_per_agent[agent.agent_id] += 1
+        self.metrics.rounds += 1
+        if self._moves_per_agent:
+            self.metrics.max_moves_per_agent = max(self._moves_per_agent.values())
+
+    def idle_rounds(self, count: int) -> None:
+        """Advance ``count`` rounds in which nobody the caller controls moves.
+
+        Background processes (oscillators) are *not* advanced by this method --
+        it exists only for algorithms with no background activity that must wait
+        (e.g. the sequential-probe baselines waiting for a reply convention).
+        """
+        for _ in range(count):
+            self.step({})
+
+    # ------------------------------------------------------------ observation
+    def agents_at(self, node: int) -> List[Agent]:
+        """Agents currently positioned at ``node`` (co-location query)."""
+        return [self.agents[a] for a in sorted(self._occupancy.get(node, ()))]
+
+    def occupied(self, node: int) -> bool:
+        """True when at least one agent is at ``node``."""
+        return bool(self._occupancy.get(node))
+
+    def settled_agent_at(self, node: int) -> Optional[Agent]:
+        """The settled agent whose *current position* is ``node`` (if any)."""
+        for agent in self.agents_at(node):
+            if agent.settled:
+                return agent
+        return None
+
+    def positions(self) -> Dict[int, int]:
+        """Snapshot of ``agent_id -> node``."""
+        return {a.agent_id: a.position for a in self.agents.values()}
+
+    def finalize_metrics(self) -> RunMetrics:
+        """Fold per-agent memory peaks into the run metrics and return them."""
+        self.metrics.record_memory(self.agents.values())
+        return self.metrics

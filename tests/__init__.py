@@ -1,0 +1,1 @@
+"""Test package for the dispersion reproduction (makes ``tests.conftest`` importable)."""

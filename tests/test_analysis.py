@@ -1,0 +1,131 @@
+"""Tests for the verification and scaling-analysis layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.memory import FieldKind, MemoryModel
+from repro.analysis.scaling import fit_linear_ratio, fit_power_law, normalized_ratios
+from repro.analysis.tables import Table, comparison_table
+from repro.analysis.verification import (
+    DispersionError,
+    check_memory_bound,
+    is_dispersed,
+    verify_dispersion,
+)
+from repro.graph import generators
+
+
+def make_settled_agents(nodes, k=None, delta=4):
+    model = MemoryModel(k=k or len(nodes), max_degree=delta)
+    agents = []
+    for i, node in enumerate(nodes, start=1):
+        a = Agent(i, node, model)
+        a.settle(node, None)
+        agents.append(a)
+    return agents
+
+
+class TestVerification:
+    def test_valid_dispersion_passes(self):
+        graph = generators.line(6)
+        agents = make_settled_agents([0, 2, 4])
+        assert is_dispersed(agents)
+        verify_dispersion(graph, agents)
+
+    def test_unsettled_agent_detected(self):
+        graph = generators.line(4)
+        agents = make_settled_agents([0, 1])
+        agents[1].unsettle()
+        assert not is_dispersed(agents)
+        with pytest.raises(DispersionError, match="not settled"):
+            verify_dispersion(graph, agents)
+
+    def test_collision_detected(self):
+        graph = generators.line(4)
+        agents = make_settled_agents([2, 2])
+        assert not is_dispersed(agents)
+        with pytest.raises(DispersionError, match="both occupy"):
+            verify_dispersion(graph, agents)
+
+    def test_too_many_agents_detected(self):
+        graph = generators.line(2)
+        agents = make_settled_agents([0, 1, 1])
+        with pytest.raises(DispersionError):
+            verify_dispersion(graph, agents)
+
+    def test_home_mismatch_detected(self):
+        graph = generators.line(4)
+        agents = make_settled_agents([0, 1])
+        agents[0].position = 3  # simulator says elsewhere
+        with pytest.raises(DispersionError, match="home"):
+            verify_dispersion(graph, agents)
+
+    def test_memory_bound_pass_and_fail(self):
+        model = MemoryModel(k=8, max_degree=4)
+        agent = Agent(1, 0, model)
+        assert check_memory_bound([agent], k=8, max_degree=4, constant=12.0) is None
+        for i in range(200):
+            agent.memory.write(f"x{i}", i, FieldKind.PORT)
+        assert check_memory_bound([agent], k=8, max_degree=4, constant=12.0) is not None
+
+
+class TestScaling:
+    def test_power_law_recovers_linear(self):
+        ks = [10, 20, 40, 80, 160]
+        times = [7 * k for k in ks]
+        fit = fit_power_law(ks, times)
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+        assert fit.r_squared > 0.999
+        assert "k^1.0" in fit.describe()
+
+    def test_power_law_recovers_quadratic(self):
+        ks = [8, 16, 32, 64]
+        times = [3 * k * k for k in ks]
+        fit = fit_power_law(ks, times)
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+
+    def test_power_law_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([4], [10])
+
+    def test_normalized_ratios_flat_for_matching_bound(self):
+        ks = [16, 32, 64, 128]
+        times = [5 * k * math.log2(k) for k in ks]
+        ratios = normalized_ratios(ks, times, lambda k: k * math.log2(k))
+        assert max(ratios) / min(ratios) < 1.01
+
+    def test_fit_linear_ratio_spread(self):
+        ks = [10, 20, 40]
+        times = [3 * k for k in ks]
+        worst, spread = fit_linear_ratio(ks, times, lambda k: k)
+        assert worst == pytest.approx(3.0)
+        assert spread == pytest.approx(1.0)
+
+
+class TestTables:
+    def test_table_rendering_alignment(self):
+        table = Table("demo", ["algo", "k=8"])
+        table.add_row("ours", 17)
+        text = table.render()
+        assert "demo" in text and "ours" in text and "17" in text
+
+    def test_table_rejects_wrong_arity(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_comparison_table(self):
+        table = comparison_table(
+            "Table 1 (rooted, SYNC)",
+            {"ours": {8: 100, 16: 210}, "baseline": {8: 300}},
+            time_unit="rounds",
+            bound_labels={"ours": "O(k)"},
+        )
+        text = table.render()
+        assert "k=8" in text and "k=16" in text
+        assert "O(k)" in text
+        assert "-" in text  # missing value rendered as a dash

@@ -1,0 +1,105 @@
+"""Tests for the prior-work baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ks_opodis21 import ks_async_dispersion
+from repro.baselines.naive_dfs import naive_sync_dispersion
+from repro.baselines.random_walk import random_walk_dispersion
+from repro.baselines.sudo_disc24 import sudo_sync_dispersion
+from repro.graph import generators
+from repro.sim.adversary import RandomAdversary, RoundRobinAdversary
+from tests.conftest import assert_valid_result, topology_zoo
+
+
+@pytest.mark.parametrize("name,factory,k", topology_zoo())
+def test_naive_dfs_disperses(name, factory, k):
+    graph = factory()
+    result = naive_sync_dispersion(graph, k)
+    assert_valid_result(graph, result)
+
+
+@pytest.mark.parametrize("name,factory,k", topology_zoo())
+def test_sudo_style_disperses(name, factory, k):
+    graph = factory()
+    result = sudo_sync_dispersion(graph, k)
+    assert_valid_result(graph, result)
+
+
+@pytest.mark.parametrize("name,factory,k", [t for t in topology_zoo() if t[2] <= 26])
+def test_ks_async_disperses(name, factory, k):
+    graph = factory()
+    result = ks_async_dispersion(graph, k, adversary=RoundRobinAdversary())
+    assert_valid_result(graph, result)
+
+
+def test_ks_async_under_random_adversary():
+    graph = generators.random_tree(20, seed=2)
+    result = ks_async_dispersion(graph, 20, adversary=RandomAdversary(4))
+    assert result.dispersed
+
+
+def test_naive_cost_tracks_sum_of_degrees():
+    """The sequential-probe DFS pays ~2 rounds per (visited node, port) pair."""
+    k = 20
+    dense = naive_sync_dispersion(generators.complete(k), k)
+    sparse = naive_sync_dispersion(generators.line(k), k)
+    assert dense.metrics.rounds > 2.5 * sparse.metrics.rounds
+    # Scout trips dominate and scale with m on the complete graph.
+    assert dense.metrics.extra["scout_trips"] >= k * (k - 1) / 4
+
+
+def test_sudo_probe_iterations_bounded_by_log():
+    import math
+
+    k = 32
+    result = sudo_sync_dispersion(generators.star(k), k)
+    calls = result.metrics.extra["probe_calls"]
+    iterations = result.metrics.extra["probe_iterations"]
+    assert iterations <= calls * (math.log2(k) + 2)
+
+
+def test_baselines_handle_k_smaller_than_n():
+    graph = generators.erdos_renyi(40, 0.15, seed=6)
+    assert naive_sync_dispersion(graph, 17).dispersed
+    assert sudo_sync_dispersion(graph, 17).dispersed
+    assert ks_async_dispersion(graph, 17).dispersed
+
+
+def test_baselines_k_one():
+    graph = generators.line(3)
+    assert naive_sync_dispersion(graph, 1).dispersed
+    assert sudo_sync_dispersion(graph, 1).dispersed
+    assert ks_async_dispersion(graph, 1).dispersed
+
+
+def test_baselines_reject_bad_k():
+    graph = generators.line(3)
+    for fn in (naive_sync_dispersion, sudo_sync_dispersion, ks_async_dispersion):
+        with pytest.raises(ValueError):
+            fn(graph, 4)
+        with pytest.raises(ValueError):
+            fn(graph, 0)
+
+
+def test_random_walk_usually_disperses_small_cases():
+    graph = generators.erdos_renyi(30, 0.3, seed=1)
+    result = random_walk_dispersion(graph, 15, seed=3)
+    assert result.algorithm == "RandomWalkScatter"
+    # The walk may fail on unlucky seeds; on this easy instance it should not.
+    assert result.dispersed
+
+
+def test_random_walk_reports_honest_failure_on_tiny_budget():
+    graph = generators.line(30)
+    result = random_walk_dispersion(graph, 30, seed=0, max_rounds=3)
+    assert not result.dispersed  # budget far too small; flag must be honest
+
+
+def test_memory_of_baselines_logarithmic():
+    k = 40
+    graph = generators.erdos_renyi(k, 0.15, seed=9)
+    for fn in (naive_sync_dispersion, sudo_sync_dispersion):
+        result = fn(graph, k)
+        assert result.metrics.peak_memory_log_units < 12

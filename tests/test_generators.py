@@ -1,0 +1,138 @@
+"""Tests for the topology zoo."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.properties import profile
+
+
+class TestBasicFamilies:
+    def test_line(self):
+        g = generators.line(10)
+        assert g.num_nodes == 10 and g.num_edges == 9
+        assert g.max_degree == 2
+        assert g.diameter() == 9
+
+    def test_line_single_node(self):
+        assert generators.line(1).num_nodes == 1
+
+    def test_ring(self):
+        g = generators.ring(12)
+        assert g.num_nodes == 12 and g.num_edges == 12
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            generators.ring(2)
+
+    def test_star(self):
+        g = generators.star(15)
+        assert g.degree(0) == 14
+        assert all(g.degree(v) == 1 for v in range(1, 15))
+
+    def test_complete(self):
+        g = generators.complete(8)
+        assert g.num_edges == 28
+        assert g.max_degree == 7
+
+    def test_binary_tree(self):
+        g = generators.binary_tree(3)
+        assert g.num_nodes == 15
+        assert g.is_tree()
+        assert g.max_degree == 3
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = generators.random_tree(25, seed=seed)
+            assert g.is_tree()
+
+    def test_caterpillar(self):
+        g = generators.caterpillar(5, 3)
+        assert g.num_nodes == 5 + 15
+        assert g.is_tree()
+
+    def test_broom(self):
+        g = generators.broom(6, 10)
+        assert g.num_nodes == 16
+        assert g.is_tree()
+        assert g.degree(5) == 11  # hub: 1 path edge + 10 bristles
+
+    def test_spider(self):
+        g = generators.spider(4, 3)
+        assert g.num_nodes == 13
+        assert g.degree(0) == 4
+        assert g.is_tree()
+
+    def test_grid(self):
+        g = generators.grid2d(4, 5)
+        assert g.num_nodes == 20
+        assert g.num_edges == 4 * 4 + 3 * 5
+        assert g.max_degree == 4
+
+    def test_hypercube(self):
+        g = generators.hypercube(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.diameter() == 4
+
+    def test_erdos_renyi_connected(self):
+        for seed in range(4):
+            g = generators.erdos_renyi(40, 0.05, seed=seed)
+            assert g.num_nodes == 40
+            assert max(g.bfs_distances(0)) >= 0  # connectivity enforced at build
+
+    def test_erdos_renyi_invalid_p(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_random_regular(self):
+        g = generators.random_regular(20, 4, seed=1)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            generators.random_regular(9, 3)
+
+    def test_barbell(self):
+        g = generators.barbell(5, 3)
+        assert g.num_nodes == 13
+        assert g.max_degree == 5
+
+    def test_lollipop(self):
+        g = generators.lollipop(6, 4)
+        assert g.num_nodes == 10
+        assert g.num_edges == 15 + 4
+
+    def test_from_networkx(self):
+        nxg = nx.petersen_graph()
+        g = generators.from_networkx(nxg)
+        assert g.num_nodes == 10
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 3 for v in g.nodes())
+
+    def test_from_networkx_rejects_disconnected(self):
+        nxg = nx.Graph()
+        nxg.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            generators.from_networkx(nxg)
+
+    def test_from_edges_dedup(self):
+        g = generators.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+        assert g.num_edges == 2
+
+
+class TestProfiles:
+    def test_profile_line(self):
+        p = profile(generators.line(9))
+        assert p.num_nodes == 9
+        assert p.diameter == 8
+        assert p.max_degree == 2
+        assert "n=9" in p.describe()
+
+    def test_profile_without_diameter(self):
+        p = profile(generators.complete(12), with_diameter=False)
+        assert p.diameter == -1
+        assert p.mean_degree == pytest.approx(11.0)

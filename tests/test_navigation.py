@@ -1,0 +1,94 @@
+"""Tests for the per-node navigation ledger and its memory charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.memory import MemoryModel
+from repro.core.navigation import NavLedger, NavRecord
+
+
+def make_agent(aid=1):
+    return Agent(aid, 0, MemoryModel(k=16, max_degree=8))
+
+
+class TestNavLedger:
+    def test_create_and_get(self):
+        ledger = NavLedger()
+        owner = make_agent()
+        rec = ledger.create(3, owner, parent_port=2, occupied=True)
+        assert ledger.has(3)
+        assert ledger.get(3) is rec
+        assert ledger.owner(3) is owner
+        assert rec.parent_port == 2
+
+    def test_duplicate_create_rejected(self):
+        ledger = NavLedger()
+        owner = make_agent()
+        ledger.create(0, owner)
+        with pytest.raises(ValueError):
+            ledger.create(0, owner)
+
+    def test_charge_appears_in_owner_memory(self):
+        ledger = NavLedger()
+        owner = make_agent()
+        before = owner.memory.current_bits
+        ledger.create(1, owner, parent_port=4, occupied=True, forward_count=2)
+        assert owner.memory.current_bits > before
+
+    def test_update_unknown_field_rejected(self):
+        ledger = NavLedger()
+        owner = make_agent()
+        ledger.create(1, owner)
+        with pytest.raises(AttributeError):
+            ledger.update(1, bogus=1)
+
+    def test_child_group_chunk_limit(self):
+        ledger = NavLedger()
+        owner = make_agent()
+        ledger.create(1, owner)
+        for port in (1, 2, 3):
+            ledger.append_child_port(1, port)
+        with pytest.raises(ValueError):
+            ledger.append_child_port(1, 4)
+
+    def test_sibling_group_chunk_limit(self):
+        ledger = NavLedger()
+        owner = make_agent()
+        ledger.create(1, owner)
+        ledger.append_sibling_port(1, 5)
+        ledger.append_sibling_port(1, 6)
+        with pytest.raises(ValueError):
+            ledger.append_sibling_port(1, 7)
+
+    def test_transfer_moves_charge(self):
+        ledger = NavLedger()
+        old, new = make_agent(1), make_agent(2)
+        base_old = old.memory.current_bits
+        base_new = new.memory.current_bits
+        ledger.create(2, old, parent_port=1, occupied=True)
+        charged = old.memory.current_bits - base_old
+        assert charged > 0
+        ledger.transfer(2, new)
+        assert old.memory.current_bits == base_old
+        assert new.memory.current_bits == base_new + charged
+        assert ledger.owner(2) is new
+
+    def test_owner_with_constant_records_stays_logarithmic(self):
+        """An agent owning O(1) records uses O(log(k+Δ)) bits (Lemma 9 regime)."""
+        model = MemoryModel(k=4096, max_degree=2048)
+        owner = Agent(1, 0, model)
+        ledger = NavLedger()
+        for node in range(4):  # own node + 3 covered nodes, the worst case
+            ledger.create(
+                node,
+                owner,
+                parent_port=7,
+                occupied=(node == 0),
+                forward_count=3,
+                child_group=[1, 2, 3],
+                next_anchor=4,
+                sibling_group=[5, 6],
+            )
+        assert owner.memory.peak_in_log_units() < 60

@@ -1,0 +1,162 @@
+"""End-to-end tests for the rooted ASYNC algorithm (Theorem 7.1).
+
+Every run uses strict mode: the port reported "fully unsettled" by
+``Async_Probe`` is checked against ground truth, so a violation of the
+Guest_See_Off ordering guarantee (Section 4.3) fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rooted_async import RootedAsyncDispersion, rooted_async_dispersion
+from repro.graph import generators
+from repro.graph.properties import is_valid_tree_rooted_at
+from repro.sim.adversary import RandomAdversary, RoundRobinAdversary, StarvationAdversary
+from tests.conftest import assert_valid_result, topology_zoo
+
+
+ASYNC_ZOO = [item for item in topology_zoo() if item[2] <= 32]
+
+
+def epochs_bound(k):
+    """Generous c·k·log k cap used to catch super-linear blowups."""
+    return int(80 * k * (math.log2(k) + 1)) + 200
+
+
+@pytest.mark.parametrize("name,factory,k", ASYNC_ZOO)
+def test_disperses_on_zoo_round_robin(name, factory, k):
+    graph = factory()
+    driver = RootedAsyncDispersion(graph, k, adversary=RoundRobinAdversary())
+    result = driver.run()
+    assert_valid_result(graph, result, driver.agents.values())
+    assert result.metrics.epochs <= epochs_bound(k)
+
+
+@pytest.mark.parametrize("name,factory,k", ASYNC_ZOO[:8])
+def test_disperses_under_random_adversary(name, factory, k):
+    graph = factory()
+    result = rooted_async_dispersion(graph, k, adversary=RandomAdversary(seed=11))
+    assert result.dispersed
+    assert result.metrics.epochs <= epochs_bound(k)
+
+
+@pytest.mark.parametrize(
+    "adversary_factory",
+    [
+        lambda: RoundRobinAdversary(),
+        lambda: RandomAdversary(3),
+        lambda: StarvationAdversary("largest", 1, slowdown=4, seed=5),
+        lambda: StarvationAdversary("smallest", 2, slowdown=3, seed=6),
+    ],
+)
+def test_adversary_independence(adversary_factory):
+    """The epoch bound must hold no matter who the adversary starves."""
+    graph = generators.erdos_renyi(30, 0.15, seed=8)
+    result = rooted_async_dispersion(graph, 30, adversary=adversary_factory())
+    assert result.dispersed
+    assert result.metrics.epochs <= epochs_bound(30)
+
+
+def test_builds_valid_dfs_tree():
+    graph = generators.random_tree(28, seed=3)
+    driver = RootedAsyncDispersion(graph, 28, adversary=RoundRobinAdversary())
+    result = driver.run()
+    members = [v for v in graph.nodes() if result.dfs_parent[v] is not None or v == 0]
+    assert len(members) == 28
+    assert is_valid_tree_rooted_at(result.dfs_parent, 0, members)
+
+
+def test_every_visited_node_keeps_a_settler():
+    """Unlike SYNC there are no empty tree nodes: settled == visited."""
+    graph = generators.random_tree(24, seed=5)
+    driver = RootedAsyncDispersion(graph, 24, adversary=RoundRobinAdversary())
+    result = driver.run()
+    assert result.metrics.extra["settled"] == 24
+    assert result.metrics.extra["forward_moves"] == 23
+
+
+def test_k_one_and_two():
+    assert rooted_async_dispersion(generators.line(4), 1).dispersed
+    assert rooted_async_dispersion(generators.line(4), 2).dispersed
+
+
+def test_k_smaller_than_n():
+    graph = generators.erdos_renyi(40, 0.12, seed=4)
+    result = rooted_async_dispersion(graph, 18, adversary=RoundRobinAdversary())
+    assert result.dispersed
+    assert len(set(result.positions.values())) == 18
+
+
+def test_start_node_choice():
+    graph = generators.grid2d(5, 5)
+    result = rooted_async_dispersion(graph, 20, start_node=12)
+    assert result.dispersed
+
+
+def test_rejects_bad_k():
+    with pytest.raises(ValueError):
+        rooted_async_dispersion(generators.line(3), 4)
+    with pytest.raises(ValueError):
+        rooted_async_dispersion(generators.line(3), 0)
+
+
+def test_probe_iterations_logarithmic_on_star():
+    """Lemma 5: each Async_Probe call needs O(log k) doubling iterations."""
+    k = 32
+    graph = generators.star(k)
+    driver = RootedAsyncDispersion(graph, k, adversary=RoundRobinAdversary())
+    result = driver.run()
+    calls = result.metrics.extra["async_probe_calls"]
+    iterations = result.metrics.extra["async_probe_iterations"]
+    assert calls <= 2 * k
+    assert iterations <= calls * (math.log2(k) + 2)
+
+
+def test_guest_see_off_iterations_logarithmic():
+    """Lemma 6: seeing off α guests takes ⌈log α⌉ + 1 halving iterations."""
+    k = 32
+    graph = generators.star(k)
+    driver = RootedAsyncDispersion(graph, k, adversary=RoundRobinAdversary())
+    result = driver.run()
+    calls = result.metrics.extra.get("guest_see_off_calls", 0)
+    iterations = result.metrics.extra.get("guest_see_off_iterations", 0)
+    if calls:
+        assert iterations <= calls * (math.log2(k) + 2)
+
+
+def test_epochs_scale_near_linearly_on_lines():
+    times = {}
+    for k in (8, 16, 32):
+        result = rooted_async_dispersion(
+            generators.line(k), k, adversary=RoundRobinAdversary()
+        )
+        times[k] = result.metrics.epochs
+    # O(k log k): quadrupling k should grow time by < ~6x.
+    assert times[32] / times[8] < 8
+
+
+def test_memory_stays_logarithmic_on_star():
+    small = RootedAsyncDispersion(generators.star(12), 12, adversary=RoundRobinAdversary())
+    small.run()
+    big = RootedAsyncDispersion(generators.star(48), 48, adversary=RoundRobinAdversary())
+    big.run()
+    unit_small = max(a.memory.peak_in_log_units() for a in small.agents.values())
+    unit_big = max(a.memory.peak_in_log_units() for a in big.agents.values())
+    assert unit_big <= unit_small * 1.8 + 8
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=26),
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=0, max_value=3),
+)
+def test_property_random_trees_disperse(k, seed, adv_seed):
+    graph = generators.random_tree(k, seed=seed)
+    result = rooted_async_dispersion(graph, k, adversary=RandomAdversary(adv_seed))
+    assert result.dispersed
+    assert sorted(result.positions.values()) == list(range(k))
