@@ -1,0 +1,136 @@
+"""Correctness lock for the engine fast paths.
+
+:class:`~repro.graph.port_graph.PortLabeledGraph` serves its hot accessors
+(``neighbor``/``reverse_port``/``move``) from precomputed flat CSR-style
+arrays, while ``port_to`` still answers from the original per-node dict
+mapping.  These tests pin the two representations to each other on random
+graphs under every port-assignment policy, so any future change to the flat
+layout that disagrees with the dict-based construction fails loudly here.
+
+A wall-clock benchmark additionally tracks the cost of a full edge-crossing
+sweep through the fast accessor, which is what the engines hammer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.port_graph import PortAssignment
+from repro.sim.sync_engine import SyncEngine
+from repro.agents.agent import Agent
+from repro.agents.memory import MemoryModel
+
+
+def graph_zoo():
+    cases = []
+    for assignment in (PortAssignment.ADJACENCY, PortAssignment.RANDOM):
+        for seed in (0, 1, 2):
+            cases.append(("er", generators.erdos_renyi(40, 0.15, seed=seed, assignment=assignment)))
+            cases.append(("tree", generators.random_tree(35, seed=seed, assignment=assignment)))
+        cases.append(("grid", generators.grid2d(6, 6, assignment=assignment, seed=7)))
+        cases.append(("complete", generators.complete(12, assignment=assignment, seed=7)))
+    cases.append(
+        ("er-async-safe", generators.erdos_renyi(30, 0.2, seed=4, assignment=PortAssignment.ASYNC_SAFE))
+    )
+    return cases
+
+
+@pytest.mark.parametrize("name,graph", graph_zoo())
+def test_flat_accessors_agree_with_dict_based_ports(name, graph):
+    for v in graph.nodes():
+        neighbors_in_port_order = graph.neighbors(v)
+        assert len(neighbors_in_port_order) == graph.degree(v)
+        for port in graph.ports(v):
+            u = graph.neighbor(v, port)
+            rev = graph.reverse_port(v, port)
+            # Combined fast accessor = the two single accessors.
+            assert graph.move(v, port) == (u, rev)
+            # Flat arrays vs the dict mapping kept for port_to().
+            assert graph.port_to(v, u) == port
+            assert graph.port_to(u, v) == rev
+            # Round trip across the edge.
+            assert graph.neighbor(u, rev) == v
+            assert neighbors_in_port_order[port - 1] == u
+    graph.validate()
+
+
+@pytest.mark.parametrize("name,graph", graph_zoo()[:4])
+def test_adjacency_arrays_expose_the_same_topology(name, graph):
+    offsets, neighbors, reverses = graph.adjacency_arrays()
+    assert len(offsets) == graph.num_nodes + 1
+    assert len(neighbors) == len(reverses) == 2 * graph.num_edges
+    for v in graph.nodes():
+        assert offsets[v + 1] - offsets[v] == graph.degree(v)
+        for port in graph.ports(v):
+            i = offsets[v] + port - 1
+            assert neighbors[i] == graph.neighbor(v, port)
+            assert reverses[i] == graph.reverse_port(v, port)
+
+
+def test_invalid_ports_still_raise():
+    graph = generators.line(5)
+    for bad in (0, 3, -1):  # node 1 has degree 2, so ports are 1..2
+        with pytest.raises(ValueError):
+            graph.neighbor(1, bad)
+        with pytest.raises(ValueError):
+            graph.reverse_port(1, bad)
+        with pytest.raises(ValueError):
+            graph.move(1, bad)
+
+
+def test_sync_engine_occupancy_stays_consistent_under_random_moves():
+    rng = random.Random(11)
+    graph = generators.erdos_renyi(25, 0.2, seed=6)
+    model = MemoryModel(k=10, max_degree=graph.max_degree)
+    agents = {i: Agent(i, rng.randrange(25), model) for i in range(1, 11)}
+    engine = SyncEngine(graph, agents.values(), max_rounds=600)
+    for _ in range(500):
+        moves = {
+            agent_id: rng.choice(list(graph.ports(agent.position)))
+            for agent_id, agent in agents.items()
+            if rng.random() < 0.6
+        }
+        engine.step(moves)
+    positions = engine.positions()
+    for node in graph.nodes():
+        expected = sorted(a for a, pos in positions.items() if pos == node)
+        assert [a.agent_id for a in engine.agents_at(node)] == expected
+        assert engine.occupied(node) == bool(expected)
+    metrics = engine.finalize_metrics()
+    assert metrics.rounds == 500
+    assert metrics.total_moves == sum(
+        engine._moves_per_agent.get(a, 0) for a in agents
+    )
+    assert metrics.max_moves_per_agent == max(engine._moves_per_agent.values())
+
+
+def test_engine_round_counters_unchanged_by_fast_path():
+    # The fast path must not change measured model-level quantities: pin a few
+    # known-deterministic runs (complete graphs, round-robin adversary).
+    from repro.runner import ScenarioSpec, run_scenario
+
+    sync = run_scenario("rooted_sync", ScenarioSpec(family="complete", params={"n": 16}, k=16))
+    resync = run_scenario("rooted_sync", ScenarioSpec(family="complete", params={"n": 16}, k=16))
+    assert sync.to_dict() == resync.to_dict()
+    a1 = run_scenario("rooted_async", ScenarioSpec(family="complete", params={"n": 12}, k=12))
+    a2 = run_scenario("rooted_async", ScenarioSpec(family="complete", params={"n": 12}, k=12))
+    assert a1.to_dict() == a2.to_dict()
+
+
+def test_wallclock_edge_crossing_sweep(benchmark):
+    graph = generators.erdos_renyi(300, 0.05, seed=9)
+
+    def crossing_sweep():
+        total = 0
+        move = graph.move
+        for v in graph.nodes():
+            for port in graph.ports(v):
+                dst, rev = move(v, port)
+                total += dst + rev
+        return total
+
+    expected = crossing_sweep()
+    assert benchmark(crossing_sweep) == expected

@@ -7,6 +7,9 @@ Measured here: epochs versus k on complete graphs under the round-robin
 adversary (one leader activation per epoch -- the worst case for leader-driven
 DFS), the epochs/(k·log2 k) ratio drift for ours, and the ordering at the
 largest size.
+
+The sweeps run through the experiment runner (:mod:`repro.runner`); the
+round-robin adversary is part of each :class:`ScenarioSpec`.
 """
 
 from __future__ import annotations
@@ -15,37 +18,27 @@ import math
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import registry_table, report
 from repro.analysis.scaling import fit_power_law
-from repro.analysis.tables import comparison_table
-from repro.baselines.ks_opodis21 import ks_async_dispersion
-from repro.core.rooted_async import rooted_async_dispersion
-from repro.graph import generators
-from repro.sim.adversary import RoundRobinAdversary
+from repro.runner import ScenarioSpec, collect_series, run_scenario
 
 K_SWEEP = [8, 16, 32, 48]
-
-BOUNDS = {
-    "RootedAsyncDisp (ours)": "O(k log k)",
-    "KS'21-style ASYNC": "O(min{m, kΔ})",
-}
+ALGORITHMS = ["rooted_async", "ks_opodis21"]
 
 
-def run_sweep(graph_factory):
-    rows = {name: {} for name in BOUNDS}
-    for k in K_SWEEP:
-        ours = rooted_async_dispersion(graph_factory(k), k, adversary=RoundRobinAdversary())
-        ks = ks_async_dispersion(graph_factory(k), k, adversary=RoundRobinAdversary())
-        assert ours.dispersed and ks.dispersed
-        rows["RootedAsyncDisp (ours)"][k] = ours.metrics.epochs
-        rows["KS'21-style ASYNC"][k] = ks.metrics.epochs
-    return rows
+def scenarios_for(family, params_fn):
+    return [
+        ScenarioSpec(family=family, params=params_fn(k), k=k, adversary="round_robin")
+        for k in K_SWEEP
+    ]
 
 
 def test_table1_rooted_async_complete_graphs(record_rows):
-    rows = run_sweep(lambda k: generators.complete(k))
-    table = comparison_table(
-        "Table 1 / rooted ASYNC on K_k (round-robin adversary)", rows, "epochs", BOUNDS
+    rows = collect_series(
+        ALGORITHMS, scenarios_for("complete", lambda k: {"n": k}), time_field="epochs"
+    )
+    table = registry_table(
+        "Table 1 / rooted ASYNC on K_k (round-robin adversary)", rows, "epochs"
     )
     fits = {
         name: fit_power_law(list(series.keys()), list(series.values()))
@@ -58,8 +51,8 @@ def test_table1_rooted_async_complete_graphs(record_rows):
     )
     record_rows.append(("T1-ASYNC-rooted", {n: s[max(K_SWEEP)] for n, s in rows.items()}))
 
-    ours = rows["RootedAsyncDisp (ours)"]
-    ks = rows["KS'21-style ASYNC"]
+    ours = rows["rooted_async"]
+    ks = rows["ks_opodis21"]
     # Ours tracks k·log k: the normalized ratio drifts by < 2x over a 6x range of k.
     norm = lambda k: k * (math.log2(k) + 1)
     assert (ours[48] / norm(48)) / (ours[8] / norm(8)) < 2.0
@@ -70,21 +63,22 @@ def test_table1_rooted_async_complete_graphs(record_rows):
 
 
 def test_table1_rooted_async_trees(record_rows):
-    rows = run_sweep(lambda k: generators.random_tree(k, seed=k))
-    table = comparison_table(
-        "Table 1 / rooted ASYNC on random trees", rows, "epochs", BOUNDS
+    rows = collect_series(
+        ALGORITHMS,
+        scenarios_for("random_tree", lambda k: {"n": k}),
+        time_field="epochs",
     )
+    table = registry_table("Table 1 / rooted ASYNC on random trees", rows, "epochs")
     report("T1-ASYNC-rooted (random trees)", [table.render()])
     record_rows.append(("T1-ASYNC-rooted-tree", {n: s[max(K_SWEEP)] for n, s in rows.items()}))
 
 
 @pytest.mark.parametrize("k", [32])
 def test_wallclock_rooted_async(benchmark, k):
-    result = benchmark.pedantic(
-        lambda: rooted_async_dispersion(
-            generators.complete(k), k, adversary=RoundRobinAdversary()
-        ),
-        rounds=3,
-        iterations=1,
+    scenario = ScenarioSpec(
+        family="complete", params={"n": k}, k=k, adversary="round_robin"
     )
-    assert result.dispersed
+    record = benchmark.pedantic(
+        lambda: run_scenario("rooted_async", scenario), rounds=3, iterations=1
+    )
+    assert record.dispersed

@@ -9,47 +9,43 @@ What this module measures: rounds as a function of k on complete graphs
 sparse ER graphs, the rounds/k ratio drift for our algorithm, and the log–log
 exponents.  pytest-benchmark additionally reports the wall-clock cost of the
 simulations themselves.
+
+The sweeps run through the experiment runner (:mod:`repro.runner`): algorithms
+are named registry entries and every (graph, k) cell is a :class:`ScenarioSpec`,
+so this module contains no simulation setup of its own.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import registry_table, report
 from repro.analysis.scaling import fit_power_law
-from repro.analysis.tables import comparison_table
-from repro.baselines.naive_dfs import naive_sync_dispersion
-from repro.baselines.sudo_disc24 import sudo_sync_dispersion
-from repro.core.rooted_sync import rooted_sync_dispersion
-from repro.graph import generators
+from repro.runner import ScenarioSpec, collect_series, run_scenario
 
 K_SWEEP = [16, 32, 64, 128]
-
-ALGORITHMS = {
-    "RootedSyncDisp (ours)": rooted_sync_dispersion,
-    "Sudo'24-style": sudo_sync_dispersion,
-    "naive seq-probe DFS": naive_sync_dispersion,
-}
-BOUNDS = {
-    "RootedSyncDisp (ours)": "O(k)",
-    "Sudo'24-style": "O(k log k)",
-    "naive seq-probe DFS": "O(min{m, kΔ})",
-}
+ALGORITHMS = ["rooted_sync", "sudo_disc24", "naive_dfs"]
 
 
-def run_sweep(graph_factory):
-    rows = {name: {} for name in ALGORITHMS}
-    for k in K_SWEEP:
-        for name, algo in ALGORITHMS.items():
-            result = algo(graph_factory(k), k)
-            assert result.dispersed
-            rows[name][k] = result.metrics.rounds
-    return rows
+def complete_scenarios():
+    return [ScenarioSpec(family="complete", params={"n": k}, k=k) for k in K_SWEEP]
+
+
+def sparse_er_scenarios():
+    return [
+        ScenarioSpec(
+            family="erdos_renyi",
+            params={"n": int(k * 1.2), "p": min(0.9, 10.0 / k)},
+            k=k,
+            seed=k,
+        )
+        for k in K_SWEEP
+    ]
 
 
 def test_table1_rooted_sync_complete_graphs(record_rows):
-    rows = run_sweep(lambda k: generators.complete(k))
-    table = comparison_table("Table 1 / rooted SYNC on K_k (k = n)", rows, "rounds", BOUNDS)
+    rows = collect_series(ALGORITHMS, complete_scenarios(), time_field="rounds")
+    table = registry_table("Table 1 / rooted SYNC on K_k (k = n)", rows, "rounds")
     fits = {
         name: fit_power_law(list(series.keys()), list(series.values()))
         for name, series in rows.items()
@@ -61,43 +57,42 @@ def test_table1_rooted_sync_complete_graphs(record_rows):
     )
     record_rows.append(("T1-SYNC-rooted", {n: s[max(K_SWEEP)] for n, s in rows.items()}))
 
-    ours = rows["RootedSyncDisp (ours)"]
-    naive = rows["naive seq-probe DFS"]
+    ours = rows["rooted_sync"]
+    naive = rows["naive_dfs"]
     # Shape: ours is linear (rounds/k ratio drifts by < 2x over an 8x k range) ...
     assert (ours[128] / 128) / (ours[16] / 16) < 2.0
     # ... while the edge-bound baseline is clearly super-linear on dense graphs
     assert (naive[128] / 128) / (naive[16] / 16) > 3.0
     # and the paper's ordering ("who wins") holds at the largest size.
     assert ours[128] < naive[128]
-    assert fits["RootedSyncDisp (ours)"].exponent < 1.25
-    assert fits["naive seq-probe DFS"].exponent > 1.6
+    assert fits["rooted_sync"].exponent < 1.25
+    assert fits["naive_dfs"].exponent > 1.6
 
 
 def test_table1_rooted_sync_sparse_er(record_rows):
-    rows = run_sweep(lambda k: generators.erdos_renyi(int(k * 1.2), min(0.9, 10.0 / k), seed=k))
-    table = comparison_table(
-        "Table 1 / rooted SYNC on sparse ER (n ≈ 1.2k)", rows, "rounds", BOUNDS
-    )
+    rows = collect_series(ALGORITHMS, sparse_er_scenarios(), time_field="rounds")
+    table = registry_table("Table 1 / rooted SYNC on sparse ER (n ≈ 1.2k)", rows, "rounds")
     report("T1-SYNC-rooted (sparse ER)", [table.render()])
     record_rows.append(("T1-SYNC-rooted-ER", {n: s[max(K_SWEEP)] for n, s in rows.items()}))
-    ours = rows["RootedSyncDisp (ours)"]
+    ours = rows["rooted_sync"]
     assert (ours[128] / 128) / (ours[16] / 16) < 2.0
 
 
 @pytest.mark.parametrize("k", [64])
 def test_wallclock_rooted_sync(benchmark, k):
-    graph = generators.erdos_renyi(int(k * 1.2), 10.0 / k, seed=k)
-    result = benchmark.pedantic(
-        lambda: rooted_sync_dispersion(generators.erdos_renyi(int(k * 1.2), 10.0 / k, seed=k), k),
-        rounds=3,
-        iterations=1,
+    scenario = ScenarioSpec(
+        family="erdos_renyi", params={"n": int(k * 1.2), "p": 10.0 / k}, k=k, seed=k
     )
-    assert result.dispersed
+    record = benchmark.pedantic(
+        lambda: run_scenario("rooted_sync", scenario), rounds=3, iterations=1
+    )
+    assert record.dispersed
 
 
 @pytest.mark.parametrize("k", [64])
 def test_wallclock_naive_baseline(benchmark, k):
-    result = benchmark.pedantic(
-        lambda: naive_sync_dispersion(generators.complete(k), k), rounds=3, iterations=1
+    scenario = ScenarioSpec(family="complete", params={"n": k}, k=k)
+    record = benchmark.pedantic(
+        lambda: run_scenario("naive_dfs", scenario), rounds=3, iterations=1
     )
-    assert result.dispersed
+    assert record.dispersed

@@ -22,7 +22,6 @@ from repro import (
     rooted_async_dispersion,
     rooted_sync_dispersion,
     RoundRobinAdversary,
-    verify_dispersion,
 )
 
 

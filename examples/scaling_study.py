@@ -1,40 +1,54 @@
 #!/usr/bin/env python3
 """Scaling study: regenerate the qualitative content of the paper's Table 1.
 
-Sweeps k over a topology family, runs the paper's algorithms and the
-prior-work baselines, and prints (i) a Table-1-style comparison of measured
-times and (ii) log–log power-law fits of time versus k, so the asymptotic
-claims can be eyeballed directly:
+Sweeps k over a topology family through the experiment runner
+(:mod:`repro.runner`), runs the paper's algorithms and the prior-work
+baselines, and prints (i) a Table-1-style comparison of measured times and
+(ii) log–log power-law fits of time versus k, so the asymptotic claims can be
+eyeballed directly:
 
-* RootedSyncDisp  — exponent ≈ 1        (Theorem 6.1, O(k))
-* RootedAsyncDisp — exponent ≈ 1 + o(1) (Theorem 7.1, O(k log k))
-* naive / KS DFS  — exponent ≈ 2 on dense graphs (O(min{m, kΔ}))
+* rooted_sync   — exponent ≈ 1        (Theorem 6.1, O(k))
+* rooted_async  — exponent ≈ 1 + o(1) (Theorem 7.1, O(k log k))
+* naive / KS DFS — exponent ≈ 2 on dense graphs (O(min{m, kΔ}))
 
-Run:  python examples/scaling_study.py [--family complete|er|line] [--max-k 96]
+Run:  python examples/scaling_study.py [--family complete|er|line]
+          [--max-k 96] [--workers 4] [--out artifacts/scaling.json]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import generators
 from repro.analysis.scaling import fit_power_law
 from repro.analysis.tables import comparison_table
-from repro.baselines.ks_opodis21 import ks_async_dispersion
-from repro.baselines.naive_dfs import naive_sync_dispersion
-from repro.baselines.sudo_disc24 import sudo_sync_dispersion
-from repro.core.rooted_async import rooted_async_dispersion
-from repro.core.rooted_sync import rooted_sync_dispersion
-from repro.sim.adversary import RoundRobinAdversary
+from repro.runner import (
+    ScenarioSpec,
+    SweepSpec,
+    get_algorithm,
+    records_to_results,
+    run_sweep,
+    write_json,
+)
+
+SYNC_ALGORITHMS = ["rooted_sync", "sudo_disc24", "naive_dfs"]
+ASYNC_ALGORITHMS = ["rooted_async", "ks_opodis21"]
+#: Activation-level ASYNC simulation is slower; cap its k to keep runs snappy.
+ASYNC_MAX_K = 64
 
 
-def make_graph(family: str, k: int):
+def make_scenario(family: str, k: int, **kwargs) -> ScenarioSpec:
     if family == "complete":
-        return generators.complete(k)
+        return ScenarioSpec(family="complete", params={"n": k}, k=k, **kwargs)
     if family == "er":
-        return generators.erdos_renyi(int(k * 1.2), 12.0 / k, seed=k)
+        return ScenarioSpec(
+            family="erdos_renyi",
+            params={"n": int(k * 1.2), "p": min(0.9, 12.0 / k)},
+            k=k,
+            seed=k,
+            **kwargs,
+        )
     if family == "line":
-        return generators.line(k)
+        return ScenarioSpec(family="line", params={"n": k}, k=k, **kwargs)
     raise ValueError(f"unknown family {family!r}")
 
 
@@ -42,57 +56,60 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--family", default="complete", choices=["complete", "er", "line"])
     parser.add_argument("--max-k", type=int, default=96)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--out", default=None, help="also write the sweep artifact JSON here")
     args = parser.parse_args()
 
     ks = [k for k in (12, 24, 48, 96, 192) if k <= args.max_k]
-    sync_algos = [
-        ("RootedSyncDisp (ours)", lambda g, k: rooted_sync_dispersion(g, k)),
-        ("Sudo'24-style", lambda g, k: sudo_sync_dispersion(g, k)),
-        ("naive DFS (OPODIS'21 bound)", lambda g, k: naive_sync_dispersion(g, k)),
-    ]
-    async_algos = [
-        ("RootedAsyncDisp (ours)",
-         lambda g, k: rooted_async_dispersion(g, k, adversary=RoundRobinAdversary())),
-        ("KS'21-style ASYNC",
-         lambda g, k: ks_async_dispersion(g, k, adversary=RoundRobinAdversary())),
-    ]
+    # Two sweeps rather than one cross product: ASYNC simulation is
+    # activation-level and must not even be *run* beyond ASYNC_MAX_K.
+    sync_sweep = SweepSpec(
+        name=f"scaling-{args.family}-sync",
+        algorithms=SYNC_ALGORITHMS,
+        scenarios=[make_scenario(args.family, k) for k in ks],
+    )
+    async_sweep = SweepSpec(
+        name=f"scaling-{args.family}-async",
+        algorithms=ASYNC_ALGORITHMS,
+        scenarios=[make_scenario(args.family, k) for k in ks if k <= ASYNC_MAX_K],
+    )
+    records = run_sweep(sync_sweep, workers=args.workers) + run_sweep(
+        async_sweep, workers=args.workers
+    )
+    for record in records:
+        assert record.status == "ok", f"{record.algorithm}: {record.error}"
+        assert record.dispersed, f"{record.algorithm} did not disperse"
+    if args.out:
+        write_json(records, args.out)
+        print(f"wrote artifact to {args.out}\n")
 
-    sync_rows, async_rows = {}, {}
-    for name, algo in sync_algos:
-        sync_rows[name] = {}
-        for k in ks:
-            result = algo(make_graph(args.family, k), k)
-            assert result.dispersed
-            sync_rows[name][k] = result.metrics.rounds
-    for name, algo in async_algos:
-        async_rows[name] = {}
-        for k in ks:
-            if k > 64:  # keep the activation-level simulation fast
-                continue
-            result = algo(make_graph(args.family, k), k)
-            assert result.dispersed
-            async_rows[name][k] = result.metrics.epochs
-
+    sync_records = [r for r in records if r.time_unit == "rounds"]
+    async_records = [r for r in records if r.time_unit == "epochs"]
     bounds = {
-        "RootedSyncDisp (ours)": "O(k)",
-        "Sudo'24-style": "O(k log k)",
-        "naive DFS (OPODIS'21 bound)": "O(min{m, kΔ})",
-        "RootedAsyncDisp (ours)": "O(k log k)",
-        "KS'21-style ASYNC": "O(min{m, kΔ})",
+        get_algorithm(name).display: get_algorithm(name).claimed_bound
+        for name in SYNC_ALGORITHMS + ASYNC_ALGORITHMS
     }
     print(comparison_table(
-        f"Rooted SYNC dispersion on '{args.family}' graphs", sync_rows, "rounds", bounds
+        f"Rooted SYNC dispersion on '{args.family}' graphs",
+        records_to_results(sync_records, time_field="rounds"),
+        "rounds",
+        bounds,
     ).render())
     print()
     print(comparison_table(
-        f"Rooted ASYNC dispersion on '{args.family}' graphs", async_rows, "epochs", bounds
+        f"Rooted ASYNC dispersion on '{args.family}' graphs",
+        records_to_results(async_records, time_field="epochs"),
+        "epochs",
+        bounds,
     ).render())
 
     print("\nlog–log fits (time ≈ c·k^e):")
-    for name, series in {**sync_rows, **async_rows}.items():
-        if len(series) >= 3:
-            fit = fit_power_law(list(series.keys()), list(series.values()))
-            print(f"  {name:30s} {fit.describe()}")
+    for group in (sync_records, async_records):
+        series = records_to_results(group)
+        for name, points in series.items():
+            if len(points) >= 3:
+                fit = fit_power_law(list(points.keys()), list(points.values()))
+                print(f"  {name:30s} {fit.describe()}")
 
 
 if __name__ == "__main__":

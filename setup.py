@@ -1,10 +1,40 @@
-"""Legacy setup shim.
+"""Packaging for the dispersion reproduction (src layout).
 
-The project is fully described by ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` works on environments whose setuptools/pip cannot do
-PEP 660 editable installs offline (no ``wheel`` package available).
+All metadata lives here and the repo deliberately has **no**
+``pyproject.toml``: its mere presence switches pip onto the PEP 517/660
+build path, which requires network-installed build deps and the ``wheel``
+package, breaking ``pip install -e .`` (and ``python setup.py develop``-style
+fallbacks) on offline environments.  Ruff configuration lives in
+``ruff.toml`` for the same reason -- do not move either into a pyproject.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dispersion",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Dispersion is (Almost) Optimal under (A)synchrony' "
+        "(SPAA'25): algorithms, simulators, baselines, and an experiment runner"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    extras_require={
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "ruff",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.runner.cli:main",
+        ],
+    },
+)

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 __all__ = ["FieldKind", "MemoryModel", "AgentMemory"]
 

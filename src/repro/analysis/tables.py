@@ -9,7 +9,7 @@ setting, by roughly what factor, and how memory compares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = ["Table", "comparison_table"]
 
@@ -59,7 +59,7 @@ def comparison_table(
     union of k values; a final column shows the claimed bound (if provided).
     """
     ks = sorted({k for series in results.values() for k in series})
-    columns = ["algorithm"] + [f"k={k}" for k in ks] + [f"unit", "claimed bound"]
+    columns = ["algorithm"] + [f"k={k}" for k in ks] + ["unit", "claimed bound"]
     table = Table(title=title, columns=columns)
     for name, series in results.items():
         cells: List[object] = [name]

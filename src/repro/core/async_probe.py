@@ -25,11 +25,11 @@ agent that instructs them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.agents.agent import Agent, AgentRole
 from repro.agents.memory import FieldKind
-from repro.sim.async_engine import Move, Stay, WaitUntil
+from repro.sim.async_engine import Move, WaitUntil
 
 __all__ = ["async_probe", "guest_see_off"]
 

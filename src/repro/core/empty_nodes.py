@@ -28,7 +28,7 @@ version lives in :mod:`repro.core.rooted_sync` and is tested against this one.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 __all__ = ["EmptyNodeSelection", "select_empty_nodes", "keeps_settler_at_position"]

@@ -27,7 +27,7 @@ from repro.core.rooted_async import RootedAsyncDispersion
 from repro.core.rooted_sync import SMALL_K_THRESHOLD
 from repro.graph.port_graph import PortLabeledGraph
 from repro.sim.adversary import Adversary
-from repro.sim.async_engine import AsyncEngine, Move, WaitUntil
+from repro.sim.async_engine import AsyncEngine, Move
 from repro.sim.result import DispersionResult
 
 __all__ = ["GeneralAsyncDispersion", "general_async_dispersion"]

@@ -29,8 +29,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.agents.agent import Agent, AgentRole
-from repro.agents.memory import FieldKind, MemoryModel
+from repro.agents.agent import Agent
+from repro.agents.memory import MemoryModel
 from repro.analysis.verification import is_dispersed
 from repro.core.rooted_sync import RootedSyncDispersion, SMALL_K_THRESHOLD
 from repro.graph.port_graph import PortLabeledGraph

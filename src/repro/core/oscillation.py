@@ -27,8 +27,8 @@ Two layers live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.agents.agent import Agent, AgentRole
 from repro.graph.port_graph import PortLabeledGraph

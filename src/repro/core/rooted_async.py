@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.agents.agent import Agent, AgentRole
-from repro.agents.memory import FieldKind, MemoryModel
+from repro.agents.memory import MemoryModel
 from repro.analysis.verification import is_dispersed
 from repro.core.async_probe import async_probe, guest_see_off
 from repro.graph.port_graph import PortLabeledGraph

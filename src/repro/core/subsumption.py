@@ -18,8 +18,8 @@ rather than inside the end-to-end drivers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 __all__ = ["TreeInfo", "MeetingOutcome", "decide_subsumption", "collapse_cost"]
 

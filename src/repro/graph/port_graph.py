@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import enum
 import random
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from array import array
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 __all__ = ["PortAssignment", "PortLabeledGraph"]
 
@@ -87,7 +88,15 @@ class PortLabeledGraph:
     ``pin`` after crossing the edge).
     """
 
-    __slots__ = ("_n", "_m", "_port_to_neighbor", "_port_to_reverse", "_neighbor_to_port", "_degrees")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_offsets",
+        "_flat_neighbor",
+        "_flat_reverse",
+        "_neighbor_to_port",
+        "_degrees",
+    )
 
     def __init__(
         self,
@@ -118,17 +127,25 @@ class PortLabeledGraph:
         else:
             order = self._port_orders(adjacency, assignment, seed)
 
-        # _port_to_neighbor[v][p-1] = u  (the paper's N(v, p))
-        # _port_to_reverse[v][p-1]  = p_u(v)
-        self._port_to_neighbor: List[List[int]] = [list(order[v]) for v in range(n)]
         self._neighbor_to_port: List[Dict[int, int]] = [
             {u: p + 1 for p, u in enumerate(order[v])} for v in range(n)
         ]
-        self._port_to_reverse: List[List[int]] = [
-            [self._neighbor_to_port[u][v] for u in order[v]] for v in range(n)
-        ]
         self._degrees = [len(order[v]) for v in range(n)]
         self._m = sum(self._degrees) // 2
+        # Flat CSR-style arrays: ports at node v occupy the contiguous slots
+        # _offsets[v] .. _offsets[v+1]-1, so the hot accessors (`neighbor`,
+        # `reverse_port`, `move`) are a single indexed load instead of a
+        # nested list/dict lookup per simulation step.
+        #   _flat_neighbor[_offsets[v] + p - 1] = u        (the paper's N(v, p))
+        #   _flat_reverse[_offsets[v] + p - 1]  = p_u(v)
+        offsets = array("l", [0] * (n + 1))
+        for v in range(n):
+            offsets[v + 1] = offsets[v] + self._degrees[v]
+        self._offsets = offsets
+        self._flat_neighbor = array("l", (u for v in range(n) for u in order[v]))
+        self._flat_reverse = array(
+            "l", (self._neighbor_to_port[u][v] for v in range(n) for u in order[v])
+        )
         self._validate_connected()
         if assignment is PortAssignment.ASYNC_SAFE:
             self._enforce_async_safe()
@@ -270,7 +287,7 @@ class PortLabeledGraph:
         while stack:
             v = stack.pop()
             count += 1
-            for u in self._port_to_neighbor[v]:
+            for u in self._flat_neighbor[self._offsets[v] : self._offsets[v + 1]]:
                 if not seen[u]:
                     seen[u] = True
                     stack.append(u)
@@ -301,7 +318,7 @@ class PortLabeledGraph:
         """The paper's ``N(v, port)``: node reached by leaving ``v`` via ``port``."""
         if not (1 <= port <= self._degrees[v]):
             raise ValueError(f"node {v} has no port {port} (degree {self._degrees[v]})")
-        return self._port_to_neighbor[v][port - 1]
+        return self._flat_neighbor[self._offsets[v] + port - 1]
 
     def reverse_port(self, v: int, port: int) -> int:
         """Port of the same edge at the other endpoint, ``p_u(v)``.
@@ -311,7 +328,29 @@ class PortLabeledGraph:
         """
         if not (1 <= port <= self._degrees[v]):
             raise ValueError(f"node {v} has no port {port} (degree {self._degrees[v]})")
-        return self._port_to_reverse[v][port - 1]
+        return self._flat_reverse[self._offsets[v] + port - 1]
+
+    def move(self, v: int, port: int) -> Tuple[int, int]:
+        """``(N(v, port), p_u(v))`` with a single bounds check.
+
+        The engines' hot path: one edge crossing needs both the destination and
+        the incoming port, so fetching them together halves the per-move
+        accessor overhead.
+        """
+        if not (1 <= port <= self._degrees[v]):
+            raise ValueError(f"node {v} has no port {port} (degree {self._degrees[v]})")
+        i = self._offsets[v] + port - 1
+        return self._flat_neighbor[i], self._flat_reverse[i]
+
+    def adjacency_arrays(self) -> Tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """The flat ``(offsets, neighbors, reverse_ports)`` arrays.
+
+        ``neighbors[offsets[v] + p - 1]`` is ``N(v, p)`` and
+        ``reverse_ports[offsets[v] + p - 1]`` is ``p_u(v)``.  Exposed for bulk
+        consumers (sweep executors, vectorized analysis); callers must treat
+        the arrays as read-only.
+        """
+        return self._offsets, self._flat_neighbor, self._flat_reverse
 
     def port_to(self, v: int, u: int) -> int:
         """Port of ``v`` leading to neighbor ``u`` (simulator-side helper)."""
@@ -322,7 +361,7 @@ class PortLabeledGraph:
 
     def neighbors(self, v: int) -> List[int]:
         """Neighbors of ``v`` in port order (port 1 first)."""
-        return list(self._port_to_neighbor[v])
+        return self._flat_neighbor[self._offsets[v] : self._offsets[v + 1]].tolist()
 
     def ports(self, v: int) -> range:
         """Iterable of valid ports at ``v``: ``1..deg(v)``."""
@@ -335,7 +374,7 @@ class PortLabeledGraph:
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate undirected edges as ``(u, v)`` with ``u < v``."""
         for v in range(self._n):
-            for u in self._port_to_neighbor[v]:
+            for u in self._flat_neighbor[self._offsets[v] : self._offsets[v + 1]]:
                 if v < u:
                     yield (v, u)
 
@@ -349,7 +388,7 @@ class PortLabeledGraph:
         while head < len(queue):
             v = queue[head]
             head += 1
-            for u in self._port_to_neighbor[v]:
+            for u in self._flat_neighbor[self._offsets[v] : self._offsets[v + 1]]:
                 if dist[u] < 0:
                     dist[u] = dist[v] + 1
                     queue.append(u)

@@ -9,7 +9,7 @@ verify structural invariants in tests -- never inside the algorithms themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.graph.port_graph import PortLabeledGraph
 

@@ -1,0 +1,73 @@
+"""Experiment-runner subsystem: registry, scenarios, sweeps, artifacts, CLI.
+
+This package is the uniform way to *measure* everything the repository
+implements.  The pieces compose bottom-up:
+
+* :mod:`repro.runner.registry` -- maps stable names (``rooted_sync``,
+  ``ks_opodis21``, ...) to uniform adapters over every algorithm in
+  :mod:`repro.core` and :mod:`repro.baselines`;
+* :mod:`repro.runner.scenario` -- :class:`ScenarioSpec` pins down graph family,
+  ``k``, ports, placement, adversary, and seed; all randomness derives from the
+  spec, so every run is reproducible from its spec alone;
+* :mod:`repro.runner.execute` -- one (algorithm, scenario) run flattened into a
+  JSON-safe :class:`RunRecord`;
+* :mod:`repro.runner.sweep` -- grids of records, executed serially or over a
+  ``multiprocessing`` pool, in deterministic order;
+* :mod:`repro.runner.artifacts` -- canonical (byte-reproducible) JSON plus CSV
+  views and Table-1 style report tables;
+* :mod:`repro.runner.cli` -- the ``repro`` / ``python -m repro`` entry point.
+"""
+
+from repro.runner.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    get_algorithm,
+    list_algorithms,
+    register,
+)
+from repro.runner.scenario import (
+    ADVERSARIES,
+    GRAPH_FAMILIES,
+    PLACEMENTS,
+    ScenarioSpec,
+    build_adversary,
+    build_graph,
+    build_placements,
+    derive_seed,
+)
+from repro.runner.execute import RunRecord, run_scenario
+from repro.runner.sweep import SweepSpec, collect_series, run_sweep, smoke_sweep
+from repro.runner.artifacts import (
+    load_json,
+    records_to_results,
+    report_tables,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "list_algorithms",
+    "register",
+    "ADVERSARIES",
+    "GRAPH_FAMILIES",
+    "PLACEMENTS",
+    "ScenarioSpec",
+    "build_adversary",
+    "build_graph",
+    "build_placements",
+    "derive_seed",
+    "RunRecord",
+    "run_scenario",
+    "SweepSpec",
+    "collect_series",
+    "run_sweep",
+    "smoke_sweep",
+    "load_json",
+    "records_to_results",
+    "report_tables",
+    "write_csv",
+    "write_json",
+]

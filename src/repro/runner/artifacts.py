@@ -1,0 +1,158 @@
+"""Deterministic sweep artifacts: JSON for machines, CSV for spreadsheets.
+
+The JSON artifact is the contract between the sweep executor and everything
+downstream (report tables, plotting, regression diffs in CI).  It is written
+canonically -- sorted keys, fixed separators, no timestamps -- so re-running
+the same sweep spec produces a byte-identical file; CI exploits that to diff
+artifacts across commits.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.tables import Table, comparison_table
+from repro.runner.execute import RunRecord
+from repro.runner.registry import get_algorithm
+from repro.runner.sweep import SweepSpec
+
+__all__ = [
+    "write_json",
+    "load_json",
+    "write_csv",
+    "records_to_results",
+    "report_tables",
+]
+
+#: Flat CSV column order (scenario fields get a ``scenario_`` prefix).
+_CSV_SCENARIO_FIELDS = (
+    "family",
+    "params",
+    "k",
+    "port_assignment",
+    "placement",
+    "placement_parts",
+    "start_node",
+    "adversary",
+    "adversary_params",
+    "seed",
+)
+_CSV_RECORD_FIELDS = (
+    "algorithm",
+    "status",
+    "n",
+    "m",
+    "dispersed",
+    "time",
+    "time_unit",
+    "rounds",
+    "epochs",
+    "activations",
+    "total_moves",
+    "max_moves_per_agent",
+    "peak_memory_bits",
+    "peak_memory_log_units",
+    "error",
+)
+
+
+def write_json(
+    records: Sequence[RunRecord],
+    path: str,
+    sweep: Optional[SweepSpec] = None,
+) -> str:
+    """Write the canonical JSON artifact and return its path."""
+    payload: Dict[str, Any] = {
+        "format": "repro-sweep-v1",
+        "sweep": sweep.to_dict() if sweep is not None else None,
+        "records": [r.to_dict() for r in records],
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2, separators=(",", ": "))
+        fh.write("\n")
+    return path
+
+
+def load_json(path: str) -> List[RunRecord]:
+    """Load the records of a JSON artifact."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != "repro-sweep-v1":
+        raise ValueError(f"{path} is not a repro sweep artifact")
+    return [RunRecord.from_dict(r) for r in payload["records"]]
+
+
+def write_csv(records: Sequence[RunRecord], path: str) -> str:
+    """Write a flat CSV view of the records and return its path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    columns = list(_CSV_RECORD_FIELDS) + [f"scenario_{f}" for f in _CSV_SCENARIO_FIELDS]
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(columns)
+        for record in records:
+            row = [getattr(record, f) for f in _CSV_RECORD_FIELDS]
+            scenario = record.scenario
+            for f in _CSV_SCENARIO_FIELDS:
+                value = scenario.get(f)
+                if isinstance(value, dict):
+                    value = json.dumps(value, sort_keys=True, separators=(",", ":"))
+                row.append(value)
+            writer.writerow(row)
+    return path
+
+
+def records_to_results(
+    records: Iterable[RunRecord],
+    time_field: str = "time",
+    key_field: str = "k",
+) -> Dict[str, Dict[int, float]]:
+    """Shape records for :func:`repro.analysis.tables.comparison_table`.
+
+    Returns ``{algorithm display name: {k: value}}`` over the successful,
+    dispersed records.  When several records share an (algorithm, k) cell
+    (e.g. multiple seeds), the cell holds their mean.
+    """
+    cells: Dict[str, Dict[int, List[float]]] = {}
+    for record in records:
+        if record.status != "ok" or not record.dispersed:
+            continue
+        value = getattr(record, time_field)
+        if value is None:
+            continue
+        display = get_algorithm(record.algorithm).display
+        key = record.scenario[key_field] if key_field in record.scenario else getattr(record, key_field)
+        cells.setdefault(display, {}).setdefault(key, []).append(float(value))
+    return {
+        display: {k: sum(vs) / len(vs) for k, vs in series.items()}
+        for display, series in cells.items()
+    }
+
+
+def report_tables(records: Sequence[RunRecord], time_field: str = "time") -> List[Table]:
+    """Table-1 style comparisons, one table per (family, time unit) group."""
+    groups: Dict[tuple, List[RunRecord]] = {}
+    for record in records:
+        if record.status != "ok":
+            continue
+        groups.setdefault((record.scenario["family"], record.time_unit), []).append(record)
+    tables = []
+    for (family, unit), group in sorted(groups.items()):
+        results = records_to_results(group, time_field=time_field)
+        if not results:
+            continue
+        bounds = {
+            get_algorithm(r.algorithm).display: get_algorithm(r.algorithm).claimed_bound
+            for r in group
+        }
+        tables.append(
+            comparison_table(
+                f"{family} graphs ({time_field} in {unit})", results, unit, bounds
+            )
+        )
+    return tables

@@ -1,0 +1,249 @@
+"""``python -m repro`` / ``repro``: the experiment-runner command line.
+
+Three subcommands mirror the workflow the benchmarks automate:
+
+* ``repro run``    -- one algorithm on one scenario, summary on stdout;
+* ``repro sweep``  -- a scenario grid (from a JSON spec file or the built-in
+  ``--smoke`` grid) fanned out over worker processes, written as JSON/CSV
+  artifacts;
+* ``repro report`` -- Table-1 style comparison tables from a sweep artifact.
+
+Examples
+--------
+::
+
+    repro run --algorithm rooted_sync --family complete --param n=32 --k 32
+    repro sweep --smoke --workers 2 --out artifacts/smoke.json
+    repro sweep --spec myspec.json --out artifacts/mysweep.json --csv artifacts/mysweep.csv
+    repro report artifacts/smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner import artifacts as artifacts_mod
+from repro.runner.execute import run_scenario
+from repro.runner.registry import algorithm_names, get_algorithm, list_algorithms
+from repro.runner.scenario import ADVERSARIES, GRAPH_FAMILIES, PLACEMENTS, ScenarioSpec
+from repro.runner.sweep import SweepSpec, run_sweep, smoke_sweep
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--param name=value`` options (ints, floats, strings)."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise argparse.ArgumentTypeError(
+                f"--param expects name=value, got {pair!r}"
+            )
+        value: Any
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[name] = value
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiment runner for the dispersion reproduction "
+        "(registry of paper algorithms + baselines, scenario sweeps, reports).",
+    )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one algorithm on one scenario")
+    run_p.add_argument("--algorithm", required=True, choices=algorithm_names())
+    run_p.add_argument("--family", required=True, choices=sorted(GRAPH_FAMILIES))
+    run_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="graph generator parameter (repeatable), e.g. --param n=32",
+    )
+    run_p.add_argument("--k", type=int, required=True, help="number of agents")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--port-assignment",
+        default="adjacency",
+        choices=["adjacency", "random", "async_safe"],
+    )
+    run_p.add_argument("--placement", default="rooted", choices=list(PLACEMENTS))
+    run_p.add_argument("--parts", type=int, default=2, help="start nodes for split placement")
+    run_p.add_argument("--start-node", type=int, default=0)
+    run_p.add_argument("--adversary", default="round_robin", choices=list(ADVERSARIES))
+    run_p.add_argument("--json", action="store_true", help="print the full record as JSON")
+
+    sweep_p = sub.add_parser("sweep", help="run a scenario grid and write artifacts")
+    source = sweep_p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--smoke", action="store_true", help="run the built-in CI smoke grid")
+    source.add_argument("--spec", help="path to a sweep spec JSON file")
+    sweep_p.add_argument("--out", default=None, help="JSON artifact path (default artifacts/<name>.json)")
+    sweep_p.add_argument("--csv", default=None, help="also write a CSV view to this path")
+    sweep_p.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    sweep_p.add_argument("--quiet", action="store_true", help="suppress per-job progress lines")
+
+    report_p = sub.add_parser("report", help="print comparison tables from an artifact")
+    report_p.add_argument("artifact", help="path to a sweep JSON artifact")
+    report_p.add_argument(
+        "--time-field",
+        default="time",
+        choices=["time", "rounds", "epochs", "activations", "total_moves", "peak_memory_bits"],
+        help="record field shown in the table cells",
+    )
+
+    sub.add_parser("list", help="list registered algorithms")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = ScenarioSpec(
+        family=args.family,
+        params=_parse_params(args.param),
+        k=args.k,
+        port_assignment=args.port_assignment,
+        placement=args.placement,
+        placement_parts=args.parts,
+        start_node=args.start_node,
+        adversary=args.adversary,
+        seed=args.seed,
+    )
+    record = run_scenario(args.algorithm, scenario)
+    if args.json:
+        print(json.dumps(record.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(f"{record.algorithm} on {scenario.label()}:")
+        if record.status != "ok":
+            print(f"  status={record.status}: {record.error}")
+        else:
+            print(
+                f"  dispersed={record.dispersed} time={record.time} {record.time_unit} "
+                f"moves={record.total_moves} peak_mem={record.peak_memory_bits} bits"
+            )
+    return 0 if record.status == "ok" else 1
+
+
+def _load_sweep_spec(path: str) -> SweepSpec:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if "scenarios" in data:
+        return SweepSpec.from_dict(data)
+    # Grid shorthand: {"name", "algorithms", "graphs", "ks", "seeds"?, ...}.
+    grid_keys = {"name", "algorithms", "graphs", "ks", "seeds"}
+    extra = {key: value for key, value in data.items() if key not in grid_keys}
+    return SweepSpec.from_grid(
+        name=data["name"],
+        algorithms=data["algorithms"],
+        graphs=data["graphs"],
+        ks=data["ks"],
+        seeds=data.get("seeds", (0,)),
+        **extra,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = smoke_sweep() if args.smoke else _load_sweep_spec(args.spec)
+    progress = None
+    if not args.quiet:
+        def progress(done: int, total: int, record: Dict[str, Any]) -> None:
+            scenario = record["scenario"]
+            status = record["status"]
+            tag = "" if status == "ok" else f" [{status}]"
+            print(
+                f"[{done}/{total}] {record['algorithm']:13s} "
+                f"{scenario['family']}/k={scenario['k']}"
+                f" -> time={record['time']}{tag}",
+                flush=True,
+            )
+    records = run_sweep(sweep, workers=args.workers, progress=progress)
+    out = args.out or f"artifacts/{sweep.name}.json"
+    artifacts_mod.write_json(records, out, sweep=sweep)
+    print(f"wrote {len(records)} records to {out}")
+    if args.csv:
+        artifacts_mod.write_csv(records, args.csv)
+        print(f"wrote CSV view to {args.csv}")
+    failed = [
+        r for r in records
+        if r.status == "error"
+        or (r.status == "ok" and not r.dispersed and get_algorithm(r.algorithm).guaranteed)
+    ]
+    if failed:
+        for record in failed:
+            print(
+                f"FAILED: {record.algorithm} on {record.scenario}: "
+                f"{record.error or 'not dispersed'}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = artifacts_mod.load_json(args.artifact)
+    tables = artifacts_mod.report_tables(records, time_field=args.time_field)
+    if not tables:
+        print("no successful records in artifact")
+        return 1
+    for table in tables:
+        print(table.render())
+        print()
+    skipped = [r for r in records if r.status != "ok"]
+    if skipped:
+        print(f"({len(skipped)} non-ok records not shown)")
+    return 0
+
+
+def _cmd_list() -> int:
+    for spec in list_algorithms():
+        flags = "" if spec.guaranteed else " (heuristic)"
+        print(
+            f"{spec.name:14s} {spec.setting:5s} {spec.config:7s} "
+            f"{spec.claimed_bound:15s} {spec.display}{flags}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_list()
+    except BrokenPipeError:
+        # stdout piped into `head` etc.; exiting quietly is the convention.
+        return 0
+    except (
+        argparse.ArgumentTypeError,
+        ValueError,
+        KeyError,
+        TypeError,
+        OSError,
+        json.JSONDecodeError,
+    ) as exc:
+        # User-input problems (bad --param, unreadable spec/artifact, unknown
+        # or misspelled spec fields) get one clean line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Run one (algorithm, scenario) pair and flatten the outcome into a record.
+
+A :class:`RunRecord` is the unit every artifact is made of: a flat, JSON-safe
+summary of one execution -- the scenario spec, the graph's realized size, the
+engine-measured metrics, and a status.  Failures are captured as data
+(``status="error"``) rather than exceptions so a sweep always produces a
+complete artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.runner.registry import AlgorithmSpec, get_algorithm, supports
+from repro.runner.scenario import (
+    ScenarioSpec,
+    build_adversary,
+    build_graph,
+    build_placements,
+    derive_seed,
+)
+
+__all__ = ["RunRecord", "run_scenario"]
+
+
+@dataclass
+class RunRecord:
+    """Flat summary of one dispersion run (JSON/CSV-friendly)."""
+
+    algorithm: str
+    scenario: Dict[str, Any]
+    status: str = "ok"  # "ok" | "unsupported" | "error"
+    error: Optional[str] = None
+    n: Optional[int] = None
+    m: Optional[int] = None
+    k: Optional[int] = None
+    dispersed: Optional[bool] = None
+    time: Optional[int] = None
+    time_unit: Optional[str] = None
+    rounds: Optional[int] = None
+    epochs: Optional[int] = None
+    activations: Optional[int] = None
+    total_moves: Optional[int] = None
+    max_moves_per_agent: Optional[int] = None
+    peak_memory_bits: Optional[int] = None
+    peak_memory_log_units: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "scenario": dict(self.scenario),
+            "status": self.status,
+            "error": self.error,
+            "n": self.n,
+            "m": self.m,
+            "k": self.k,
+            "dispersed": self.dispersed,
+            "time": self.time,
+            "time_unit": self.time_unit,
+            "rounds": self.rounds,
+            "epochs": self.epochs,
+            "activations": self.activations,
+            "total_moves": self.total_moves,
+            "max_moves_per_agent": self.max_moves_per_agent,
+            "peak_memory_bits": self.peak_memory_bits,
+            "peak_memory_log_units": self.peak_memory_log_units,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(**data)
+
+
+def run_scenario(
+    algorithm: str | AlgorithmSpec, scenario: ScenarioSpec
+) -> RunRecord:
+    """Execute one scenario under one algorithm and return its record.
+
+    Never raises for model-level failures: incompatible (algorithm, placement)
+    pairs come back with ``status="unsupported"`` and crashes with
+    ``status="error"`` plus the exception text, so grid sweeps keep going.
+    """
+    spec = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    record = RunRecord(algorithm=spec.name, scenario=scenario.to_dict(), k=scenario.k)
+    try:
+        graph = build_graph(scenario)
+        placements = build_placements(scenario, graph)
+        record.n = graph.num_nodes
+        record.m = graph.num_edges
+        if not supports(spec, placements):
+            record.status = "unsupported"
+            record.error = (
+                f"{spec.name} requires a rooted placement but got "
+                f"{len(placements)} start nodes"
+            )
+            return record
+        adversary = build_adversary(scenario) if spec.setting == "async" else None
+        result = spec.run(
+            graph,
+            placements,
+            adversary=adversary,
+            seed=derive_seed(scenario, "algorithm"),
+        )
+    except Exception as exc:  # noqa: BLE001 - sweep robustness is the point
+        record.status = "error"
+        record.error = f"{type(exc).__name__}: {exc}"
+        return record
+
+    metrics = result.metrics
+    record.dispersed = bool(result.dispersed)
+    record.time = metrics.time
+    record.time_unit = spec.time_unit
+    record.rounds = metrics.rounds
+    record.epochs = metrics.epochs
+    record.activations = metrics.activations
+    record.total_moves = metrics.total_moves
+    record.max_moves_per_agent = metrics.max_moves_per_agent
+    record.peak_memory_bits = metrics.peak_memory_bits
+    record.peak_memory_log_units = metrics.peak_memory_log_units
+    record.extra = {name: float(value) for name, value in sorted(metrics.extra.items())}
+    return record

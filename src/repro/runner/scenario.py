@@ -1,0 +1,226 @@
+"""Scenario specifications: everything one run needs, in one hashable spec.
+
+A :class:`ScenarioSpec` pins down the *entire* input of a dispersion run --
+graph family and parameters, population size ``k``, port-assignment policy,
+initial placement, ASYNC adversary, and a master seed.  Every source of
+randomness in a run (graph generation, port shuffling, adversary choices,
+randomized baselines) draws its seed deterministically from the spec via
+:func:`derive_seed`, so any run is reproducible from its spec alone: the same
+spec produces byte-identical metrics on any machine, in any process, in any
+order within a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping
+
+from repro.graph import generators
+from repro.graph.port_graph import PortAssignment, PortLabeledGraph
+from repro.sim.adversary import (
+    Adversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    StarvationAdversary,
+)
+
+__all__ = [
+    "GRAPH_FAMILIES",
+    "ADVERSARIES",
+    "PLACEMENTS",
+    "ScenarioSpec",
+    "derive_seed",
+    "build_graph",
+    "build_adversary",
+    "build_placements",
+]
+
+#: Graph families a spec may name, mapped to their generator in
+#: :mod:`repro.graph.generators` (a whitelist -- specs come from JSON files).
+GRAPH_FAMILIES: Dict[str, Any] = {
+    "line": generators.line,
+    "ring": generators.ring,
+    "star": generators.star,
+    "complete": generators.complete,
+    "binary_tree": generators.binary_tree,
+    "random_tree": generators.random_tree,
+    "caterpillar": generators.caterpillar,
+    "broom": generators.broom,
+    "spider": generators.spider,
+    "grid2d": generators.grid2d,
+    "hypercube": generators.hypercube,
+    "erdos_renyi": generators.erdos_renyi,
+    "random_regular": generators.random_regular,
+    "barbell": generators.barbell,
+    "lollipop": generators.lollipop,
+}
+
+#: Adversary policies a spec may name (ASYNC runs only).
+ADVERSARIES = ("round_robin", "random", "starvation")
+
+#: Initial-placement policies: ``rooted`` puts all k agents on ``start_node``;
+#: ``split`` spreads them over ``placement_parts`` evenly spaced nodes.
+PLACEMENTS = ("rooted", "split")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully specified dispersion scenario.
+
+    Attributes
+    ----------
+    family, params:
+        Graph family name (a key of :data:`GRAPH_FAMILIES`) and the keyword
+        arguments of its generator (e.g. ``{"n": 64}`` or ``{"n": 48, "p": 0.2}``).
+    k:
+        Number of agents.
+    port_assignment:
+        ``"adjacency"``, ``"random"`` or ``"async_safe"``
+        (:class:`~repro.graph.port_graph.PortAssignment` values).
+    placement:
+        ``"rooted"`` or ``"split"`` (see :data:`PLACEMENTS`).
+    placement_parts:
+        Number of start nodes for ``split`` placements.
+    start_node:
+        Root node for ``rooted`` placements.
+    adversary, adversary_params:
+        ASYNC activation policy and its keyword arguments (ignored by SYNC
+        algorithms).
+    seed:
+        Master seed; all component seeds are derived from it together with the
+        rest of the spec (see :func:`derive_seed`).
+    """
+
+    family: str
+    params: Mapping[str, Any]
+    k: int
+    port_assignment: str = "adjacency"
+    placement: str = "rooted"
+    placement_parts: int = 1
+    start_node: int = 0
+    adversary: str = "round_robin"
+    adversary_params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.family not in GRAPH_FAMILIES:
+            raise ValueError(
+                f"unknown graph family {self.family!r}; known: {sorted(GRAPH_FAMILIES)}"
+            )
+        PortAssignment(self.port_assignment)  # raises on unknown policy
+        if self.placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {self.placement!r}; known: {PLACEMENTS}")
+        if self.adversary not in ADVERSARIES:
+            raise ValueError(f"unknown adversary {self.adversary!r}; known: {ADVERSARIES}")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.placement == "split" and self.placement_parts < 2:
+            raise ValueError("split placement needs placement_parts >= 2")
+        # Copy the mappings so a spec cannot be mutated through the caller's
+        # dicts after construction.
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "adversary_params", dict(self.adversary_params))
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would choke on the dict fields; the
+        # canonical key covers every field, so hash it instead (specs are
+        # legitimately used as set members / cache keys for dedup).
+        return hash(self.key())
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe, round-trips through :meth:`from_dict`)."""
+        return {
+            "family": self.family,
+            "params": dict(self.params),
+            "k": self.k,
+            "port_assignment": self.port_assignment,
+            "placement": self.placement,
+            "placement_parts": self.placement_parts,
+            "start_node": self.start_node,
+            "adversary": self.adversary,
+            "adversary_params": dict(self.adversary_params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def key(self) -> str:
+        """Canonical JSON string of the spec -- stable across processes/runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """The same scenario under a different master seed."""
+        return replace(self, seed=seed)
+
+    def label(self) -> str:
+        """Compact human-readable tag used in logs and CSV rows."""
+        params = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}({params})/k={self.k}/seed={self.seed}"
+
+
+def derive_seed(spec: ScenarioSpec, component: str) -> int:
+    """Deterministic per-component seed for a scenario.
+
+    Hashing the canonical spec string together with the component name gives
+    independent, reproducible streams for graph generation, the adversary, and
+    randomized algorithms -- without any global RNG state, so sweep workers can
+    run scenarios in any order.
+    """
+    digest = hashlib.sha256(f"{spec.key()}#{component}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def build_graph(spec: ScenarioSpec) -> PortLabeledGraph:
+    """Materialize the scenario's port-labeled graph."""
+    factory = GRAPH_FAMILIES[spec.family]
+    assignment = PortAssignment(spec.port_assignment)
+    return factory(
+        **spec.params,
+        assignment=assignment,
+        seed=derive_seed(spec, "graph"),
+    )
+
+
+def build_adversary(spec: ScenarioSpec) -> Adversary:
+    """Materialize the scenario's ASYNC activation adversary."""
+    if spec.adversary == "round_robin":
+        return RoundRobinAdversary()
+    if spec.adversary == "random":
+        return RandomAdversary(seed=derive_seed(spec, "adversary"))
+    return StarvationAdversary(
+        seed=derive_seed(spec, "adversary"), **spec.adversary_params
+    )
+
+
+def build_placements(spec: ScenarioSpec, graph: PortLabeledGraph) -> Dict[int, int]:
+    """Initial ``node -> agent count`` placement for the scenario.
+
+    ``rooted`` puts everyone on ``start_node``; ``split`` spreads the agents
+    over ``placement_parts`` evenly spaced nodes (the multi-root configurations
+    of the general algorithms), remainder on the first part.
+    """
+    if spec.k > graph.num_nodes:
+        raise ValueError(
+            f"k={spec.k} agents cannot disperse on n={graph.num_nodes} nodes"
+        )
+    if spec.placement == "rooted":
+        if not (0 <= spec.start_node < graph.num_nodes):
+            raise ValueError(f"start_node {spec.start_node} outside graph")
+        return {spec.start_node: spec.k}
+    parts = min(spec.placement_parts, spec.k)
+    n = graph.num_nodes
+    chosen = [int(i * (n - 1) / max(1, parts - 1)) for i in range(parts)]
+    chosen = sorted(set(chosen))
+    base = spec.k // len(chosen)
+    placements = {node: base for node in chosen}
+    placements[chosen[0]] += spec.k - base * len(chosen)
+    return {node: count for node, count in placements.items() if count > 0}

@@ -1,0 +1,219 @@
+"""Sweep executor: fan a scenario grid out over worker processes.
+
+A :class:`SweepSpec` is the cross product ``algorithms x graphs x ks x seeds``
+(with per-scenario placement/adversary settings).  :func:`run_sweep` executes
+every compatible (algorithm, scenario) job -- serially or on a
+``multiprocessing`` pool -- and returns the records in a deterministic order,
+so the same sweep spec always produces a byte-identical artifact regardless of
+worker count or scheduling.
+
+Workers receive only ``(algorithm_name, scenario_dict)`` pairs: both sides are
+plain JSON-safe data, so no graphs, closures, or engines ever cross the process
+boundary, and every worker rebuilds its scenario from the spec exactly as a
+fresh interpreter would.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.execute import RunRecord, run_scenario
+from repro.runner.registry import get_algorithm
+from repro.runner.scenario import ScenarioSpec
+
+__all__ = ["SweepSpec", "run_sweep", "collect_series", "smoke_sweep"]
+
+#: Job as shipped to a worker: both halves are picklable plain data.
+_Job = Tuple[str, Dict[str, Any]]
+
+
+@dataclass
+class SweepSpec:
+    """A named grid of (algorithm, scenario) jobs.
+
+    ``scenarios`` is the explicit list (after grid expansion); build one either
+    directly or via :meth:`from_grid`.
+    """
+
+    name: str
+    algorithms: List[str]
+    scenarios: List[ScenarioSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in self.algorithms:
+            get_algorithm(name)  # fail fast on unknown names
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        algorithms: Sequence[str],
+        graphs: Sequence[Mapping[str, Any]],
+        ks: Sequence[int],
+        seeds: Sequence[int] = (0,),
+        **scenario_kwargs: Any,
+    ) -> "SweepSpec":
+        """Expand ``graphs x ks x seeds`` into scenarios.
+
+        Each entry of ``graphs`` is ``{"family": ..., "params": {...}}``;
+        ``scenario_kwargs`` (placement, adversary, ...) apply to every scenario.
+        """
+        scenarios = [
+            ScenarioSpec(
+                family=graph["family"],
+                params=graph.get("params", {}),
+                k=k,
+                seed=seed,
+                **scenario_kwargs,
+            )
+            for graph, k, seed in itertools.product(graphs, ks, seeds)
+        ]
+        return cls(name=name, algorithms=list(algorithms), scenarios=scenarios)
+
+    def jobs(self) -> List[_Job]:
+        """All compatible (algorithm, scenario) pairs in deterministic order.
+
+        Rooted-only algorithms are paired only with rooted placements; general
+        algorithms run on every placement.  The filter works off the specs
+        alone so the job list is known before any graph is built.
+        """
+        return [
+            (algorithm, scenario.to_dict())
+            for scenario in self.scenarios
+            for algorithm in self.algorithms
+            if get_algorithm(algorithm).config == "general"
+            or scenario.placement == "rooted"
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "algorithms": list(self.algorithms),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        return cls(
+            name=data["name"],
+            algorithms=list(data["algorithms"]),
+            scenarios=[ScenarioSpec.from_dict(s) for s in data.get("scenarios", [])],
+        )
+
+
+def _run_job(job: _Job) -> Dict[str, Any]:
+    """Worker entry point (top-level so it pickles under every start method)."""
+    algorithm, scenario_dict = job
+    record = run_scenario(algorithm, ScenarioSpec.from_dict(scenario_dict))
+    return record.to_dict()
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    workers: int = 1,
+    progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+) -> List[RunRecord]:
+    """Execute every job of the sweep and return records in job order.
+
+    ``workers <= 1`` runs serially in-process; otherwise jobs fan out over a
+    ``multiprocessing`` pool.  Results are returned in the deterministic job
+    order either way (each scenario carries its own derived seeds, so
+    scheduling cannot leak into the metrics).
+
+    ``progress``, when given, is called as ``progress(done, total, record)``
+    after every job.
+    """
+    jobs = sweep.jobs()
+    raw: List[Dict[str, Any]]
+    if workers <= 1 or len(jobs) <= 1:
+        raw = []
+        for i, job in enumerate(jobs):
+            record = _run_job(job)
+            raw.append(record)
+            if progress is not None:
+                progress(i + 1, len(jobs), record)
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+            raw = []
+            # imap preserves job order while letting workers run ahead.
+            for i, record in enumerate(pool.imap(_run_job, jobs, chunksize=1)):
+                raw.append(record)
+                if progress is not None:
+                    progress(i + 1, len(jobs), record)
+    return [RunRecord.from_dict(r) for r in raw]
+
+
+def collect_series(
+    algorithms: Sequence[str],
+    scenarios: Iterable[ScenarioSpec],
+    time_field: str = "time",
+    workers: int = 1,
+    strict: bool = True,
+) -> Dict[str, Dict[int, float]]:
+    """Run a small grid and shape it for :func:`repro.analysis.tables.comparison_table`.
+
+    Returns ``{algorithm: {k: value}}`` where ``value`` is the requested record
+    field (``time``, ``rounds``, ``epochs``, ``total_moves``, ...).  With
+    ``strict`` (default) any failed or non-dispersed run raises -- the mode the
+    benchmark asserts want.
+    """
+    sweep = SweepSpec(name="series", algorithms=list(algorithms), scenarios=list(scenarios))
+    rows: Dict[str, Dict[int, float]] = {name: {} for name in sweep.algorithms}
+    for record in run_sweep(sweep, workers=workers):
+        if record.status != "ok" or not record.dispersed:
+            if strict and get_algorithm(record.algorithm).guaranteed:
+                raise RuntimeError(
+                    f"{record.algorithm} failed on {record.scenario}: "
+                    f"status={record.status} dispersed={record.dispersed} "
+                    f"error={record.error}"
+                )
+            continue
+        value = getattr(record, time_field)
+        rows[record.algorithm][record.k] = float(value)
+    return rows
+
+
+def smoke_sweep(name: str = "smoke") -> SweepSpec:
+    """The CI smoke grid: every registered algorithm family on small graphs.
+
+    Small enough to finish in seconds, broad enough to cross every adapter,
+    both engines, rooted and general placements, and a seeded random topology.
+    """
+    rooted = SweepSpec.from_grid(
+        name=name,
+        algorithms=[
+            "rooted_sync",
+            "rooted_async",
+            "naive_dfs",
+            "sudo_disc24",
+            "ks_opodis21",
+            "random_walk",
+        ],
+        graphs=[
+            {"family": "line", "params": {"n": 16}},
+            {"family": "complete", "params": {"n": 12}},
+            {"family": "erdos_renyi", "params": {"n": 18, "p": 0.25}},
+        ],
+        ks=[8, 12],
+        seeds=[0],
+    )
+    general = SweepSpec.from_grid(
+        name=name,
+        algorithms=["general_sync", "general_async"],
+        graphs=[
+            {"family": "line", "params": {"n": 24}},
+            {"family": "erdos_renyi", "params": {"n": 20, "p": 0.25}},
+        ],
+        ks=[12],
+        seeds=[0],
+        placement="split",
+        placement_parts=2,
+    )
+    return SweepSpec(
+        name=name,
+        algorithms=sorted(set(rooted.algorithms) | set(general.algorithms)),
+        scenarios=rooted.scenarios + general.scenarios,
+    )

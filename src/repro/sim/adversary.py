@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Sequence, Set
 
 __all__ = [
     "Adversary",

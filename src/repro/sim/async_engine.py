@@ -24,9 +24,8 @@ agent's own cycle.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, Iterable, Iterator, List, Optional, Set, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Union
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
@@ -86,7 +85,9 @@ class AsyncEngine:
     ) -> None:
         self.graph = graph
         self.agents: Dict[int, Agent] = {}
-        self._occupancy: Dict[int, Set[int]] = defaultdict(set)
+        # Dense per-node occupancy (see SyncEngine): indexing by node beats
+        # dict hashing on the activation hot path.
+        self._occupancy: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
         for agent in agents:
             if agent.agent_id in self.agents:
                 raise ValueError(f"duplicate agent id {agent.agent_id}")
@@ -99,7 +100,7 @@ class AsyncEngine:
         self.max_activations = max_activations
 
         self.metrics = RunMetrics()
-        self._moves_per_agent: Dict[int, int] = defaultdict(int)
+        self._moves_per_agent: Dict[int, int] = {}
         self._programs: Dict[int, Optional[Program]] = {a: None for a in self.agents}
         self._pending: Dict[int, Optional[Action]] = {a: None for a in self.agents}
         self._active_this_epoch: Set[int] = set()
@@ -186,22 +187,20 @@ class AsyncEngine:
             self._active_this_epoch.clear()
 
     def _move(self, agent: Agent, port: int) -> None:
-        src = agent.position
-        dst = self.graph.neighbor(src, port)
-        rev = self.graph.reverse_port(src, port)
-        self._occupancy[src].discard(agent.agent_id)
+        dst, rev = self.graph.move(agent.position, port)
+        self._occupancy[agent.position].discard(agent.agent_id)
         agent.arrive(dst, rev)
         self._occupancy[dst].add(agent.agent_id)
         self.metrics.total_moves += 1
-        self._moves_per_agent[agent.agent_id] += 1
-        self.metrics.max_moves_per_agent = max(
-            self.metrics.max_moves_per_agent, self._moves_per_agent[agent.agent_id]
-        )
+        count = self._moves_per_agent.get(agent.agent_id, 0) + 1
+        self._moves_per_agent[agent.agent_id] = count
+        if count > self.metrics.max_moves_per_agent:
+            self.metrics.max_moves_per_agent = count
 
     # ------------------------------------------------------------ observation
     def agents_at(self, node: int) -> List[Agent]:
         """Agents currently positioned at ``node``."""
-        return [self.agents[a] for a in sorted(self._occupancy.get(node, ()))]
+        return [self.agents[a] for a in sorted(self._occupancy[node])]
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
         """The settled agent whose current position is ``node`` (if any)."""

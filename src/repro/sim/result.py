@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.agents.agent import Agent
 from repro.sim.metrics import RunMetrics
 
 __all__ = ["DispersionResult"]

@@ -15,7 +15,6 @@ algorithms, write to) the memory of agents at its own node only.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.agents.agent import Agent
@@ -47,7 +46,9 @@ class SyncEngine:
     ) -> None:
         self.graph = graph
         self.agents: Dict[int, Agent] = {}
-        self._occupancy: Dict[int, Set[int]] = defaultdict(set)
+        # Occupancy is a dense per-node list of id sets: node indices are the
+        # engine's hottest keys, so direct indexing beats dict hashing.
+        self._occupancy: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
         for agent in agents:
             if agent.agent_id in self.agents:
                 raise ValueError(f"duplicate agent id {agent.agent_id}")
@@ -56,7 +57,7 @@ class SyncEngine:
         if not self.agents:
             raise ValueError("need at least one agent")
         self.metrics = RunMetrics()
-        self._moves_per_agent: Dict[int, int] = defaultdict(int)
+        self._moves_per_agent: Dict[int, int] = {}
         self.max_rounds = max_rounds
 
     # ----------------------------------------------------------------- round
@@ -79,27 +80,33 @@ class SyncEngine:
                 f"exceeded max_rounds={self.max_rounds}; "
                 "the algorithm is probably not terminating"
             )
-        planned: List[tuple[Agent, int, int, int]] = []  # agent, src, dst, rev_port
         if moves:
+            edge = self.graph.move
+            occupancy = self._occupancy
+            planned: List[tuple[Agent, int, int]] = []  # agent, dst, rev_port
+            # Validate every move against the *current* positions first ...
             for agent_id, port in moves.items():
                 if port is None:
                     continue
                 agent = self.agents[agent_id]
-                src = agent.position
-                dst = self.graph.neighbor(src, port)
-                rev = self.graph.reverse_port(src, port)
-                planned.append((agent, src, dst, rev))
-        # Apply simultaneously.
-        for agent, src, dst, rev in planned:
-            self._occupancy[src].discard(agent.agent_id)
-        for agent, src, dst, rev in planned:
-            agent.arrive(dst, rev)
-            self._occupancy[dst].add(agent.agent_id)
-            self.metrics.total_moves += 1
-            self._moves_per_agent[agent.agent_id] += 1
+                dst, rev = edge(agent.position, port)
+                planned.append((agent, dst, rev))
+            # ... then vacate all sources and apply the batch simultaneously,
+            # exactly as in the SYNC model (no agent observes another on an edge).
+            for agent, _dst, _rev in planned:
+                occupancy[agent.position].discard(agent.agent_id)
+            moves_per_agent = self._moves_per_agent
+            max_moves = self.metrics.max_moves_per_agent
+            for agent, dst, rev in planned:
+                agent.arrive(dst, rev)
+                occupancy[dst].add(agent.agent_id)
+                count = moves_per_agent.get(agent.agent_id, 0) + 1
+                moves_per_agent[agent.agent_id] = count
+                if count > max_moves:
+                    max_moves = count
+            self.metrics.total_moves += len(planned)
+            self.metrics.max_moves_per_agent = max_moves
         self.metrics.rounds += 1
-        if self._moves_per_agent:
-            self.metrics.max_moves_per_agent = max(self._moves_per_agent.values())
 
     def idle_rounds(self, count: int) -> None:
         """Advance ``count`` rounds in which nobody the caller controls moves.
@@ -114,11 +121,11 @@ class SyncEngine:
     # ------------------------------------------------------------ observation
     def agents_at(self, node: int) -> List[Agent]:
         """Agents currently positioned at ``node`` (co-location query)."""
-        return [self.agents[a] for a in sorted(self._occupancy.get(node, ()))]
+        return [self.agents[a] for a in sorted(self._occupancy[node])]
 
     def occupied(self, node: int) -> bool:
         """True when at least one agent is at ``node``."""
-        return bool(self._occupancy.get(node))
+        return bool(self._occupancy[node])
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
         """The settled agent whose *current position* is ``node`` (if any)."""

@@ -1,0 +1,99 @@
+"""Tests for the ``python -m repro`` / ``repro`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.cli import build_parser, main
+
+
+def test_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--help"])
+    assert excinfo.value.code == 0
+    assert "sweep" in capsys.readouterr().out
+
+
+def test_run_prints_summary(capsys):
+    code = main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=12", "--k", "6",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dispersed=True" in out and "rounds" in out
+
+
+def test_run_json_output_is_a_full_record(capsys):
+    code = main([
+        "run", "--algorithm", "naive_dfs", "--family", "complete",
+        "--param", "n=8", "--k", "8", "--json",
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["status"] == "ok"
+    assert record["scenario"]["family"] == "complete"
+    assert record["rounds"] > 0
+
+
+def test_run_reports_failure_via_exit_code(capsys):
+    code = main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=4", "--k", "9",
+    ])
+    assert code == 1
+    assert "cannot disperse" in capsys.readouterr().out
+
+
+def test_sweep_spec_file_to_artifact_to_report(tmp_path, capsys):
+    spec = {
+        "name": "cli-grid",
+        "algorithms": ["rooted_sync", "naive_dfs"],
+        "graphs": [{"family": "complete", "params": {"n": 10}}],
+        "ks": [6, 10],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    out_path = tmp_path / "grid.json"
+    csv_path = tmp_path / "grid.csv"
+
+    code = main([
+        "sweep", "--spec", str(spec_path), "--out", str(out_path),
+        "--csv", str(csv_path), "--quiet",
+    ])
+    assert code == 0
+    assert out_path.exists() and csv_path.exists()
+    payload = json.loads(out_path.read_text())
+    assert payload["format"] == "repro-sweep-v1"
+    assert len(payload["records"]) == 4
+
+    code = main(["report", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "complete graphs" in out
+    assert "claimed bound" in out
+
+
+def test_sweep_exit_code_flags_errors(tmp_path, capsys):
+    spec = {
+        "name": "cli-bad",
+        "algorithms": ["rooted_sync"],
+        "graphs": [{"family": "line", "params": {"n": 4}}],
+        "ks": [9],  # infeasible: k > n
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    code = main(["sweep", "--spec", str(spec_path), "--out", str(tmp_path / "bad.json"), "--quiet"])
+    assert code == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_list_names_every_algorithm(capsys):
+    from repro.runner import algorithm_names
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in algorithm_names():
+        assert name in out

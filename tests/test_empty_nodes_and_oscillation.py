@@ -14,7 +14,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.empty_nodes import keeps_settler_at_position, select_empty_nodes
 from repro.core.oscillation import CoveredNode, Oscillator, build_trip, max_trip_length
 from repro.graph import generators
-from repro.graph.properties import tree_children
 
 
 def line_tree(k):

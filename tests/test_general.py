@@ -7,7 +7,6 @@ import pytest
 from repro.core.general_async import general_async_dispersion
 from repro.core.general_sync import GeneralSyncDispersion, general_sync_dispersion
 from repro.core.subsumption import (
-    MeetingOutcome,
     TreeInfo,
     collapse_cost,
     decide_subsumption,

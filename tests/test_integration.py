@@ -8,7 +8,6 @@ asymptotic separation already shows at small scale.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

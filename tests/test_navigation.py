@@ -6,7 +6,7 @@ import pytest
 
 from repro.agents.agent import Agent
 from repro.agents.memory import MemoryModel
-from repro.core.navigation import NavLedger, NavRecord
+from repro.core.navigation import NavLedger
 
 
 def make_agent(aid=1):

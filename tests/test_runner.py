@@ -1,0 +1,285 @@
+"""Tests for the experiment-runner subsystem (:mod:`repro.runner`).
+
+Covers the three contracts the runner makes:
+
+* **registry completeness** -- every public dispersion driver in ``core/`` and
+  ``baselines/`` is registered, and every registered algorithm actually runs
+  on a small graph through its adapter;
+* **seed determinism** -- the same sweep spec produces identical records (and
+  byte-identical JSON artifacts) regardless of worker count or run order;
+* **artifact round-trip** -- records survive JSON serialization and feed
+  :mod:`repro.analysis.tables` report tables with the measured values intact.
+"""
+
+from __future__ import annotations
+
+import csv
+import importlib
+import json
+
+import pytest
+
+import repro.baselines
+import repro.core
+from repro.analysis.tables import comparison_table
+from repro.runner import (
+    RunRecord,
+    ScenarioSpec,
+    SweepSpec,
+    build_graph,
+    build_placements,
+    collect_series,
+    derive_seed,
+    get_algorithm,
+    list_algorithms,
+    load_json,
+    records_to_results,
+    report_tables,
+    run_scenario,
+    run_sweep,
+    smoke_sweep,
+    write_csv,
+    write_json,
+)
+
+
+# ----------------------------------------------------------------- registry
+def public_dispersion_functions():
+    """``module:function`` of every public dispersion driver in the package."""
+    found = set()
+    for package in (repro.core, repro.baselines):
+        for name in package.__all__:
+            if not name.endswith("_dispersion"):
+                continue
+            func = getattr(package, name)
+            found.add(f"{func.__module__}:{func.__name__}")
+    return found
+
+
+def test_registry_covers_every_core_and_baseline_algorithm():
+    registered = {spec.entry_point for spec in list_algorithms()}
+    missing = public_dispersion_functions() - registered
+    assert not missing, f"dispersion drivers not in the runner registry: {missing}"
+
+
+def test_registry_entry_points_resolve():
+    for spec in list_algorithms():
+        module_name, _, func_name = spec.entry_point.partition(":")
+        func = getattr(importlib.import_module(module_name), func_name)
+        assert callable(func), spec.name
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in list_algorithms()])
+def test_every_registered_algorithm_runs_on_a_small_graph(name):
+    scenario = ScenarioSpec(family="random_tree", params={"n": 14}, k=7, seed=3)
+    record = run_scenario(name, scenario)
+    assert record.status == "ok", record.error
+    assert record.n == 14 and record.k == 7
+    assert record.time_unit == get_algorithm(name).time_unit
+    if get_algorithm(name).guaranteed:
+        assert record.dispersed
+        assert record.time > 0
+        assert record.total_moves > 0
+
+
+def test_general_algorithms_run_from_split_placements():
+    scenario = ScenarioSpec(
+        family="line", params={"n": 30}, k=16, placement="split", placement_parts=2
+    )
+    for name in ("general_sync", "general_async"):
+        record = run_scenario(name, scenario)
+        assert record.status == "ok" and record.dispersed, record.error
+
+
+def test_rooted_algorithms_report_split_placements_unsupported():
+    scenario = ScenarioSpec(
+        family="line", params={"n": 30}, k=16, placement="split", placement_parts=2
+    )
+    record = run_scenario("rooted_sync", scenario)
+    assert record.status == "unsupported"
+    assert record.dispersed is None
+
+
+def test_infeasible_k_is_reported_not_raised():
+    record = run_scenario("rooted_sync", ScenarioSpec(family="line", params={"n": 4}, k=9))
+    assert record.status == "error"
+    assert "cannot disperse" in record.error
+    # k is filled in even when setup fails, so downstream filters on record.k
+    # never trip over None.
+    assert record.k == 9
+
+
+# ----------------------------------------------------------------- scenarios
+def test_scenario_spec_round_trips_through_dict():
+    spec = ScenarioSpec(
+        family="erdos_renyi",
+        params={"n": 20, "p": 0.3},
+        k=10,
+        placement="split",
+        placement_parts=3,
+        adversary="starvation",
+        adversary_params={"slowdown": 3},
+        seed=7,
+    )
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    assert ScenarioSpec.from_dict(json.loads(spec.key())) == spec
+
+
+def test_scenario_spec_rejects_unknown_values():
+    with pytest.raises(ValueError):
+        ScenarioSpec(family="moebius", params={}, k=4)
+    with pytest.raises(ValueError):
+        ScenarioSpec(family="line", params={"n": 8}, k=4, adversary="psychic")
+    with pytest.raises(ValueError):
+        ScenarioSpec(family="line", params={"n": 8}, k=4, placement="split")
+
+
+def test_scenario_spec_is_hashable_for_dedup():
+    a = ScenarioSpec(family="line", params={"n": 8}, k=4)
+    b = ScenarioSpec(family="line", params={"n": 8}, k=4)
+    c = ScenarioSpec(family="line", params={"n": 9}, k=4)
+    assert len({a, b, c}) == 2
+    assert hash(a) == hash(b)
+
+
+def test_derived_seeds_are_stable_and_component_independent():
+    spec = ScenarioSpec(family="line", params={"n": 8}, k=4)
+    assert derive_seed(spec, "graph") == derive_seed(spec, "graph")
+    assert derive_seed(spec, "graph") != derive_seed(spec, "adversary")
+    assert derive_seed(spec, "graph") != derive_seed(spec.with_seed(1), "graph")
+
+
+def test_same_spec_builds_identical_graphs():
+    spec = ScenarioSpec(
+        family="erdos_renyi", params={"n": 24, "p": 0.2}, k=12, port_assignment="random"
+    )
+    g1, g2 = build_graph(spec), build_graph(spec)
+    assert g1.num_edges == g2.num_edges
+    for v in range(g1.num_nodes):
+        assert g1.neighbors(v) == g2.neighbors(v)
+        for p in g1.ports(v):
+            assert g1.reverse_port(v, p) == g2.reverse_port(v, p)
+
+
+def test_split_placements_cover_k_agents_on_distinct_nodes():
+    spec = ScenarioSpec(
+        family="line", params={"n": 40}, k=21, placement="split", placement_parts=4
+    )
+    graph = build_graph(spec)
+    placements = build_placements(spec, graph)
+    assert sum(placements.values()) == 21
+    assert len(placements) == 4
+    assert all(0 <= node < 40 for node in placements)
+
+
+# -------------------------------------------------------------- determinism
+def small_sweep():
+    return SweepSpec(
+        name="determinism",
+        algorithms=["rooted_sync", "rooted_async", "naive_dfs", "random_walk"],
+        scenarios=[
+            ScenarioSpec(family="erdos_renyi", params={"n": 18, "p": 0.25}, k=9,
+                         port_assignment="random", adversary="random", seed=s)
+            for s in (0, 1)
+        ],
+    )
+
+
+def test_sweep_metrics_identical_across_runs_and_worker_counts():
+    serial = [r.to_dict() for r in run_sweep(small_sweep(), workers=1)]
+    again = [r.to_dict() for r in run_sweep(small_sweep(), workers=1)]
+    parallel = [r.to_dict() for r in run_sweep(small_sweep(), workers=3)]
+    assert serial == again
+    assert serial == parallel
+
+
+def test_sweep_artifacts_are_byte_identical(tmp_path):
+    sweep = small_sweep()
+    path1 = write_json(run_sweep(sweep, workers=1), str(tmp_path / "a.json"), sweep=sweep)
+    path2 = write_json(run_sweep(sweep, workers=2), str(tmp_path / "b.json"), sweep=sweep)
+    with open(path1, "rb") as f1, open(path2, "rb") as f2:
+        assert f1.read() == f2.read()
+
+
+def test_sweep_spec_round_trips_through_dict():
+    sweep = small_sweep()
+    clone = SweepSpec.from_dict(sweep.to_dict())
+    assert clone.to_dict() == sweep.to_dict()
+    assert clone.jobs() == sweep.jobs()
+
+
+def test_smoke_sweep_pairs_algorithms_compatibly():
+    sweep = smoke_sweep()
+    jobs = sweep.jobs()
+    assert jobs, "smoke grid must not be empty"
+    for algorithm, scenario in jobs:
+        assert (
+            get_algorithm(algorithm).config == "general"
+            or scenario["placement"] == "rooted"
+        )
+
+
+# ------------------------------------------------------------- round-trip
+def test_artifact_round_trip_through_tables(tmp_path):
+    scenarios = [
+        ScenarioSpec(family="complete", params={"n": k}, k=k) for k in (8, 12)
+    ]
+    sweep = SweepSpec(name="tables", algorithms=["rooted_sync", "naive_dfs"],
+                      scenarios=scenarios)
+    records = run_sweep(sweep)
+    path = write_json(records, str(tmp_path / "tables.json"), sweep=sweep)
+
+    loaded = load_json(path)
+    assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+
+    results = records_to_results(loaded, time_field="rounds")
+    ours = get_algorithm("rooted_sync").display
+    naive = get_algorithm("naive_dfs").display
+    assert set(results) == {ours, naive}
+    assert set(results[ours]) == {8, 12}
+
+    table = comparison_table("round-trip", results, "rounds")
+    rendered = table.render()
+    for record in records:
+        assert f"{float(record.rounds):.0f}" in rendered
+
+    tables = report_tables(loaded, time_field="rounds")
+    assert len(tables) == 1
+    assert "complete graphs" in tables[0].title
+
+
+def test_csv_view_matches_records(tmp_path):
+    sweep = SweepSpec(
+        name="csv",
+        algorithms=["rooted_sync"],
+        scenarios=[ScenarioSpec(family="line", params={"n": 12}, k=6)],
+    )
+    records = run_sweep(sweep)
+    path = write_csv(records, str(tmp_path / "view.csv"))
+    with open(path, newline="", encoding="utf-8") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 1
+    assert rows[0]["algorithm"] == "rooted_sync"
+    assert int(rows[0]["rounds"]) == records[0].rounds
+    assert rows[0]["scenario_family"] == "line"
+
+
+def test_collect_series_shapes_rows_for_benchmarks():
+    scenarios = [ScenarioSpec(family="complete", params={"n": k}, k=k) for k in (8, 12)]
+    rows = collect_series(["rooted_sync", "naive_dfs"], scenarios, time_field="rounds")
+    assert set(rows) == {"rooted_sync", "naive_dfs"}
+    assert set(rows["rooted_sync"]) == {8, 12}
+    assert all(v > 0 for v in rows["rooted_sync"].values())
+
+
+def test_collect_series_strict_raises_on_failure():
+    bad = [ScenarioSpec(family="line", params={"n": 4}, k=9)]
+    with pytest.raises(RuntimeError):
+        collect_series(["rooted_sync"], bad)
+
+
+def test_run_record_round_trip():
+    record = run_scenario(
+        "rooted_sync", ScenarioSpec(family="line", params={"n": 10}, k=5)
+    )
+    assert RunRecord.from_dict(json.loads(json.dumps(record.to_dict()))).to_dict() == record.to_dict()
