@@ -1,0 +1,110 @@
+"""Fault-model & invariant harness guarantees (runner-level).
+
+Three contracts back the fault subsystem's acceptance criteria:
+
+1. **Fault-free cleanliness** -- every paper algorithm, continuously checked,
+   produces zero invariant violations across a topology zoo (the checker is a
+   falsification harness, so it must not cry wolf on correct executions).
+2. **Byte determinism under faults** -- a sweep crossed with fault profiles
+   yields identical records (including fault-event and violation counts)
+   regardless of worker count or repetition.
+3. **Falsification power** -- outside its model the harness actually finds
+   something: with aggressive crash faults at least one paper-algorithm run
+   fails to disperse, and the failure is captured as data, not as a crash of
+   the harness itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import ScenarioSpec, run_scenario, run_sweep
+from repro.runner.registry import core_algorithm_names
+from repro.runner.sweep import SweepSpec
+
+from benchmarks.conftest import report
+
+
+ZOO = [
+    ScenarioSpec(family="line", params={"n": 18}, k=12, check_invariants=True),
+    ScenarioSpec(family="ring", params={"n": 16}, k=10, check_invariants=True),
+    ScenarioSpec(family="random_tree", params={"n": 22}, k=13, seed=3, check_invariants=True),
+    ScenarioSpec(family="erdos_renyi", params={"n": 20, "p": 0.22}, k=12, seed=5,
+                 check_invariants=True),
+    ScenarioSpec(family="grid2d", params={"rows": 4, "cols": 5}, k=12, check_invariants=True),
+    ScenarioSpec(family="erdos_renyi", params={"n": 20, "p": 0.25}, k=12, placement="split",
+                 placement_parts=2, seed=7, check_invariants=True),
+]
+
+
+@pytest.mark.parametrize("algorithm", core_algorithm_names())
+def test_paper_algorithms_zero_violations_across_zoo(algorithm, record_rows):
+    rows = []
+    for scenario in ZOO:
+        record = run_scenario(algorithm, scenario)
+        if record.status == "unsupported":
+            continue
+        assert record.status == "ok", f"{scenario.label()}: {record.error}"
+        assert record.dispersed, scenario.label()
+        assert record.invariant_violations == 0, scenario.label()
+        assert record.extra["invariant_checks"] > 0
+        rows.append(f"{scenario.label():40s} checks={int(record.extra['invariant_checks'])}")
+    report(f"invariant checks clean: {algorithm}", rows)
+    record_rows.append((f"invariants/{algorithm}", f"{len(rows)} scenarios, 0 violations"))
+
+
+def _fault_sweep() -> SweepSpec:
+    base = SweepSpec.from_grid(
+        name="fault-harness",
+        algorithms=["rooted_sync", "general_sync", "naive_dfs"],
+        graphs=[
+            {"family": "line", "params": {"n": 14}},
+            {"family": "erdos_renyi", "params": {"n": 16, "p": 0.3}},
+        ],
+        ks=[8],
+        seeds=[0],
+    )
+    return base.with_profiles(
+        [{}, {"freeze": 0.6, "freeze_duration": 30}, {"crash": 0.4}],
+        check_invariants=True,
+    )
+
+
+def test_fault_sweep_is_byte_deterministic_across_workers():
+    sweep = _fault_sweep()
+    serial = [r.to_dict() for r in run_sweep(sweep, workers=1)]
+    parallel = [r.to_dict() for r in run_sweep(sweep, workers=3)]
+    again = [r.to_dict() for r in run_sweep(sweep, workers=1)]
+    as_bytes = lambda records: json.dumps(records, sort_keys=True).encode()
+    assert as_bytes(serial) == as_bytes(parallel) == as_bytes(again)
+    # Every record carries the falsification counters.
+    assert all(r["fault_events"] is not None for r in serial if r["scenario"]["faults"])
+    assert all(r["invariant_violations"] is not None for r in serial)
+    # Fault-free profile: everything disperses cleanly.
+    clean = [r for r in serial if not r["scenario"]["faults"]]
+    assert clean and all(r["dispersed"] and r["invariant_violations"] == 0 for r in clean)
+
+
+def test_crash_faults_falsify_async_epoch_guarantee(record_rows):
+    """Outside its fault-free model the O(k log k) ASYNC algorithm must be
+    allowed to fail -- and the harness must record that as data."""
+    scenario = ScenarioSpec(
+        family="erdos_renyi",
+        params={"n": 14, "p": 0.3},
+        k=9,
+        seed=1,
+        faults={"crash": 0.9, "horizon": 50},
+        check_invariants=True,
+    )
+    record = run_scenario("rooted_async", scenario)
+    assert record.status in ("ok", "error")
+    assert not record.dispersed  # k-1 settlers cannot appear once agents crash
+    assert record.fault_events and record.fault_events > 0
+    report(
+        "falsification: rooted_async under crash:0.9",
+        [f"status={record.status} fault_events={record.fault_events} "
+         f"violations={record.invariant_violations} error={record.error}"],
+    )
+    record_rows.append(("falsification/rooted_async", f"status={record.status}"))

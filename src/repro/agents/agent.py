@@ -59,6 +59,7 @@ class Agent:
         "home",
         "treelabel",
         "memory",
+        "unsettle_count",
     )
 
     def __init__(self, agent_id: int, start_node: int, memory_model: MemoryModel) -> None:
@@ -71,6 +72,10 @@ class Agent:
         self.settled = False
         self.home: Optional[int] = None  # home node once settled (simulator view)
         self.treelabel: Optional[int] = None
+        #: Sanctioned un-settlements so far (Backtrack_Move, subsumption); the
+        #: invariant checker uses this to tell legitimate settled-count drops
+        #: from state corruption.
+        self.unsettle_count = 0
         self.memory = AgentMemory(memory_model)
         # Every agent persistently stores its own ID (the Ω(log k) lower bound).
         self.memory.write("ID", agent_id, FieldKind.ID)
@@ -107,6 +112,7 @@ class Agent:
         self.settled = False
         self.home = None
         self.role = AgentRole.EXPLORER
+        self.unsettle_count += 1
         self.memory.write("settled", False, FieldKind.FLAG)
         self.memory.clear("parent")
 

@@ -9,9 +9,9 @@ setting, by roughly what factor, and how memory compares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["Table", "comparison_table"]
+__all__ = ["Table", "comparison_table", "fault_summary_table"]
 
 
 @dataclass
@@ -69,4 +69,38 @@ def comparison_table(
         cells.append(time_unit)
         cells.append((bound_labels or {}).get(name, ""))
         table.add_row(*cells)
+    return table
+
+
+def fault_summary_table(rows: Sequence[Mapping[str, object]]) -> Table:
+    """Fault-sweep scoreboard: one row per (algorithm, fault profile).
+
+    Each row mapping carries ``algorithm``, ``profile``, ``runs``,
+    ``dispersed``, ``errors``, ``fault_events`` and ``violations`` (aggregated
+    by :func:`repro.runner.artifacts.fault_summary`).  The table answers the
+    harness's headline question -- which algorithm survives which world -- and
+    CI asserts the ``violations`` column is all zeros for fault-free profiles.
+    """
+    table = Table(
+        title="fault & invariant summary",
+        columns=[
+            "algorithm",
+            "fault profile",
+            "runs",
+            "dispersed",
+            "errors",
+            "fault events",
+            "violations",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row.get("algorithm", ""),
+            row.get("profile", "none"),
+            row.get("runs", 0),
+            row.get("dispersed", 0),
+            row.get("errors", 0),
+            row.get("fault_events", 0),
+            row.get("violations", 0),
+        )
     return table

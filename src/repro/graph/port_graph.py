@@ -13,8 +13,11 @@ A :class:`PortLabeledGraph` is a simple, undirected, connected graph
 Agents therefore navigate exclusively by ports: "leave the current node through
 port ``i``" and, on arrival, learn the incoming port (the paper's ``a.pin``).
 
-The class is deliberately immutable after construction: algorithms cannot
-accidentally stash state on the graph, which enforces the memoryless-node model.
+The class is deliberately immutable from the *algorithms'* point of view:
+agents cannot stash state on the graph, which enforces the memoryless-node
+model.  The one sanctioned mutation path is :meth:`PortLabeledGraph.rewire`,
+used exclusively by the simulator's fault layer (:mod:`repro.sim.faults`) to
+model adversarial edge churn.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from __future__ import annotations
 import enum
 import random
 from array import array
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["PortAssignment", "PortLabeledGraph"]
 
@@ -96,6 +99,7 @@ class PortLabeledGraph:
         "_flat_reverse",
         "_neighbor_to_port",
         "_degrees",
+        "_churn_count",
     )
 
     def __init__(
@@ -127,17 +131,28 @@ class PortLabeledGraph:
         else:
             order = self._port_orders(adjacency, assignment, seed)
 
+        self._churn_count = 0
+        self._install_orders(order)
+        self._validate_connected()
+        if assignment is PortAssignment.ASYNC_SAFE:
+            self._enforce_async_safe()
+
+    def _install_orders(self, order: Sequence[Sequence[int]]) -> None:
+        """(Re)build every internal structure from per-node neighbor orders.
+
+        Flat CSR-style arrays: ports at node v occupy the contiguous slots
+        ``_offsets[v] .. _offsets[v+1]-1``, so the hot accessors (`neighbor`,
+        `reverse_port`, `move`) are a single indexed load instead of a nested
+        list/dict lookup per simulation step.
+          ``_flat_neighbor[_offsets[v] + p - 1] = u``      (the paper's N(v, p))
+          ``_flat_reverse[_offsets[v] + p - 1]  = p_u(v)``
+        """
+        n = self._n
         self._neighbor_to_port: List[Dict[int, int]] = [
             {u: p + 1 for p, u in enumerate(order[v])} for v in range(n)
         ]
         self._degrees = [len(order[v]) for v in range(n)]
         self._m = sum(self._degrees) // 2
-        # Flat CSR-style arrays: ports at node v occupy the contiguous slots
-        # _offsets[v] .. _offsets[v+1]-1, so the hot accessors (`neighbor`,
-        # `reverse_port`, `move`) are a single indexed load instead of a
-        # nested list/dict lookup per simulation step.
-        #   _flat_neighbor[_offsets[v] + p - 1] = u        (the paper's N(v, p))
-        #   _flat_reverse[_offsets[v] + p - 1]  = p_u(v)
         offsets = array("l", [0] * (n + 1))
         for v in range(n):
             offsets[v + 1] = offsets[v] + self._degrees[v]
@@ -146,9 +161,6 @@ class PortLabeledGraph:
         self._flat_reverse = array(
             "l", (self._neighbor_to_port[u][v] for v in range(n) for u in order[v])
         )
-        self._validate_connected()
-        if assignment is PortAssignment.ASYNC_SAFE:
-            self._enforce_async_safe()
 
     # ------------------------------------------------------------------ build
     @staticmethod
@@ -377,6 +389,123 @@ class PortLabeledGraph:
             for u in self._flat_neighbor[self._offsets[v] : self._offsets[v + 1]]:
                 if v < u:
                     yield (v, u)
+
+    # ------------------------------------------------------ dynamic topology
+    @property
+    def churn_count(self) -> int:
+        """Number of :meth:`rewire` events applied so far (0 for static runs).
+
+        The invariant checker watches this counter to know when to re-verify
+        the port bijection; algorithms must never read it (nodes are
+        memoryless and agents cannot observe topology changes directly).
+        """
+        return self._churn_count
+
+    def removable_edges(self) -> List[Tuple[int, int]]:
+        """Edges ``(u, v)`` with ``u < v`` whose removal keeps the graph connected.
+
+        Exactly the non-bridge edges (found with one Tarjan low-link pass, so
+        O(n + m)); the fault injector draws churn removals from this list.
+        """
+        disc = [-1] * self._n
+        low = [0] * self._n
+        bridges = set()
+        # Iterative Tarjan bridge finding over the CSR arrays.
+        timer = 0
+        for root in range(self._n):
+            if disc[root] >= 0:
+                continue
+            stack: List[Tuple[int, int, int]] = [(root, -1, 0)]  # node, parent, next-port-index
+            while stack:
+                v, parent, i = stack.pop()
+                if i == 0:
+                    disc[v] = low[v] = timer
+                    timer += 1
+                begin, end = self._offsets[v], self._offsets[v + 1]
+                advanced = False
+                while begin + i < end:
+                    u = self._flat_neighbor[begin + i]
+                    i += 1
+                    if disc[u] < 0:
+                        stack.append((v, parent, i))
+                        stack.append((u, v, 0))
+                        advanced = True
+                        break
+                    if u != parent:
+                        low[v] = min(low[v], disc[u])
+                if not advanced:
+                    if parent >= 0:
+                        low[parent] = min(low[parent], low[v])
+                        if low[v] > disc[parent]:
+                            bridges.add((min(parent, v), max(parent, v)))
+        return [edge for edge in self.edges() if edge not in bridges]
+
+    def missing_edges(self) -> List[Tuple[int, int]]:
+        """Non-adjacent node pairs ``(u, v)`` with ``u < v`` (churn insertions).
+
+        O(n²); intended for the fault layer on test-scale graphs only.
+        """
+        out = []
+        for v in range(self._n):
+            nbrs = self._neighbor_to_port[v]
+            for u in range(v + 1, self._n):
+                if u not in nbrs:
+                    out.append((v, u))
+        return out
+
+    def rewire(
+        self,
+        remove: Optional[Tuple[int, int]] = None,
+        add: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Apply one churn event in place: drop ``remove``, insert ``add``.
+
+        This is the *simulator's* fault layer mutating the world -- the one
+        sanctioned exception to the graph's immutability (agents still cannot
+        stash state on nodes).  Removing an edge shifts the higher ports at
+        each endpoint down by one (ports stay ``1..deg``); an added edge takes
+        the new highest port at both endpoints.  The rewired graph must remain
+        simple and connected or ``ValueError`` is raised and nothing changes.
+        ``ASYNC_SAFE`` assignments are *not* re-repaired: churn is adversarial,
+        so a rewiring may legally break the Section 8.2 constraint.
+        """
+        if remove is None and add is None:
+            return
+        orders = [self.neighbors(v) for v in range(self._n)]
+        if remove is not None:
+            u, v = remove
+            if not (0 <= u < self._n and 0 <= v < self._n) or v not in orders[u]:
+                raise ValueError(f"cannot remove nonexistent edge {remove}")
+            orders[u].remove(v)
+            orders[v].remove(u)
+        if add is not None:
+            a, b = add
+            if not (0 <= a < self._n and 0 <= b < self._n) or a == b:
+                raise ValueError(f"cannot add invalid edge {add}")
+            if b in orders[a]:
+                raise ValueError(f"cannot add existing edge {add}")
+            orders[a].append(b)
+            orders[b].append(a)
+        if not self._orders_connected(orders):
+            raise ValueError(f"rewire -{remove} +{add} would disconnect the graph")
+        self._install_orders(orders)
+        self._churn_count += 1
+
+    @staticmethod
+    def _orders_connected(orders: Sequence[Sequence[int]]) -> bool:
+        n = len(orders)
+        seen = [False] * n
+        seen[0] = True
+        stack = [0]
+        count = 0
+        while stack:
+            v = stack.pop()
+            count += 1
+            for u in orders[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(u)
+        return count == n
 
     # ------------------------------------------------------------- analysis
     def bfs_distances(self, source: int) -> List[int]:

@@ -21,6 +21,7 @@ implements.  The pieces compose bottom-up:
 from repro.runner.registry import (
     AlgorithmSpec,
     algorithm_names,
+    core_algorithm_names,
     get_algorithm,
     list_algorithms,
     register,
@@ -32,12 +33,15 @@ from repro.runner.scenario import (
     ScenarioSpec,
     build_adversary,
     build_graph,
+    build_instrumentation,
     build_placements,
+    derive_fault_seed,
     derive_seed,
 )
 from repro.runner.execute import RunRecord, run_scenario
 from repro.runner.sweep import SweepSpec, collect_series, run_sweep, smoke_sweep
 from repro.runner.artifacts import (
+    fault_summary,
     load_json,
     records_to_results,
     report_tables,
@@ -48,6 +52,7 @@ from repro.runner.artifacts import (
 __all__ = [
     "AlgorithmSpec",
     "algorithm_names",
+    "core_algorithm_names",
     "get_algorithm",
     "list_algorithms",
     "register",
@@ -57,7 +62,9 @@ __all__ = [
     "ScenarioSpec",
     "build_adversary",
     "build_graph",
+    "build_instrumentation",
     "build_placements",
+    "derive_fault_seed",
     "derive_seed",
     "RunRecord",
     "run_scenario",
@@ -65,6 +72,7 @@ __all__ = [
     "collect_series",
     "run_sweep",
     "smoke_sweep",
+    "fault_summary",
     "load_json",
     "records_to_results",
     "report_tables",

@@ -14,7 +14,7 @@ import json
 import os
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.analysis.tables import Table, comparison_table
+from repro.analysis.tables import Table, comparison_table, fault_summary_table
 from repro.runner.execute import RunRecord
 from repro.runner.registry import get_algorithm
 from repro.runner.sweep import SweepSpec
@@ -25,6 +25,7 @@ __all__ = [
     "write_csv",
     "records_to_results",
     "report_tables",
+    "fault_summary",
 ]
 
 #: Flat CSV column order (scenario fields get a ``scenario_`` prefix).
@@ -39,6 +40,8 @@ _CSV_SCENARIO_FIELDS = (
     "adversary",
     "adversary_params",
     "seed",
+    "faults",
+    "check_invariants",
 )
 _CSV_RECORD_FIELDS = (
     "algorithm",
@@ -55,6 +58,8 @@ _CSV_RECORD_FIELDS = (
     "max_moves_per_agent",
     "peak_memory_bits",
     "peak_memory_log_units",
+    "fault_events",
+    "invariant_violations",
     "error",
 )
 
@@ -132,6 +137,46 @@ def records_to_results(
         display: {k: sum(vs) / len(vs) for k, vs in series.items()}
         for display, series in cells.items()
     }
+
+
+def fault_summary(records: Iterable[RunRecord]) -> Optional[Table]:
+    """Aggregate fault-sweep outcomes per (algorithm, fault profile).
+
+    Returns ``None`` when no record carries fault or invariant data (plain
+    sweeps keep their reports unchanged).  Rows count runs, dispersals,
+    errors, world-level fault events, and invariant violations -- the harness's
+    falsification scoreboard.
+    """
+    records = list(records)
+    if all(
+        record.fault_events is None and record.invariant_violations is None
+        for record in records
+    ):
+        return None
+    # Some profile was instrumented: summarize *every* record, so fault-free
+    # baseline rows (which may be uninstrumented) still appear next to their
+    # faulty counterparts instead of silently dropping out of the comparison.
+    rows: Dict[tuple, Dict[str, int]] = {}
+    for record in records:
+        profile = record.scenario.get("faults") or {}
+        label = (
+            ",".join(f"{k}:{v}" for k, v in sorted(profile.items())) if profile else "none"
+        )
+        cell = rows.setdefault(
+            (record.algorithm, label),
+            {"runs": 0, "dispersed": 0, "errors": 0, "fault_events": 0, "violations": 0},
+        )
+        cell["runs"] += 1
+        cell["dispersed"] += 1 if record.dispersed else 0
+        cell["errors"] += 1 if record.status == "error" else 0
+        cell["fault_events"] += record.fault_events or 0
+        cell["violations"] += record.invariant_violations or 0
+    return fault_summary_table(
+        [
+            {"algorithm": algorithm, "profile": label, **cell}
+            for (algorithm, label), cell in sorted(rows.items())
+        ]
+    )
 
 
 def report_tables(records: Sequence[RunRecord], time_field: str = "time") -> List[Table]:

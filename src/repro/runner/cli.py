@@ -8,12 +8,25 @@ Three subcommands mirror the workflow the benchmarks automate:
   artifacts;
 * ``repro report`` -- Table-1 style comparison tables from a sweep artifact.
 
+``--faults`` / ``--check-invariants`` attach the fault-model and
+invariant-checking subsystem (:mod:`repro.sim.faults` /
+:mod:`repro.sim.invariants`): faults stress the run with crash-stop, freeze,
+and edge-churn schedules; the checker continuously verifies dispersion safety
+properties and reports violation counts in the records.  ``sweep --faults`` is
+repeatable -- the grid is crossed with every given profile -- and records from
+*fault-free* profiles still fail the sweep on errors or invariant violations,
+while faulty profiles report findings as data (exit 0).
+
 Examples
 --------
 ::
 
     repro run --algorithm rooted_sync --family complete --param n=32 --k 32
+    repro run --algorithm rooted_sync --family ring --param n=24 --k 16 \\
+        --faults crash:0.1 --check-invariants
     repro sweep --smoke --workers 2 --out artifacts/smoke.json
+    repro sweep --smoke --algorithms paper --check-invariants \\
+        --faults none --faults crash:0.1,freeze:0.1:60 --out artifacts/faults.json
     repro sweep --spec myspec.json --out artifacts/mysweep.json --csv artifacts/mysweep.csv
     repro report artifacts/smoke.json
 """
@@ -26,10 +39,16 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.runner import artifacts as artifacts_mod
-from repro.runner.execute import run_scenario
-from repro.runner.registry import algorithm_names, get_algorithm, list_algorithms
+from repro.runner.execute import RunRecord, run_scenario
+from repro.runner.registry import (
+    algorithm_names,
+    core_algorithm_names,
+    get_algorithm,
+    list_algorithms,
+)
 from repro.runner.scenario import ADVERSARIES, GRAPH_FAMILIES, PLACEMENTS, ScenarioSpec
 from repro.runner.sweep import SweepSpec, run_sweep, smoke_sweep
+from repro.sim.faults import parse_faults
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +106,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--parts", type=int, default=2, help="start nodes for split placement")
     run_p.add_argument("--start-node", type=int, default=0)
     run_p.add_argument("--adversary", default="round_robin", choices=list(ADVERSARIES))
+    run_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault profile, e.g. crash:0.1,freeze:0.2:40,churn:0.02 (or 'none')",
+    )
+    run_p.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="continuously verify dispersion invariants; violations fail the run",
+    )
     run_p.add_argument("--json", action="store_true", help="print the full record as JSON")
 
     sweep_p = sub.add_parser("sweep", help="run a scenario grid and write artifacts")
@@ -97,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--csv", default=None, help="also write a CSV view to this path")
     sweep_p.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     sweep_p.add_argument("--quiet", action="store_true", help="suppress per-job progress lines")
+    sweep_p.add_argument(
+        "--faults",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="fault profile to cross the grid with (repeatable); 'none' is the "
+        "fault-free profile, e.g. --faults none --faults crash:0.1",
+    )
+    sweep_p.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="attach the invariant checker to every run; violations in "
+        "fault-free profiles fail the sweep",
+    )
+    sweep_p.add_argument(
+        "--algorithms",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of the sweep's algorithms, or 'paper' for "
+        "the paper's own algorithms only",
+    )
 
     report_p = sub.add_parser("report", help="print comparison tables from an artifact")
     report_p.add_argument("artifact", help="path to a sweep JSON artifact")
@@ -122,6 +173,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         start_node=args.start_node,
         adversary=args.adversary,
         seed=args.seed,
+        faults=parse_faults(args.faults) if args.faults is not None else {},
+        check_invariants=args.check_invariants,
     )
     record = run_scenario(args.algorithm, scenario)
     if args.json:
@@ -135,7 +188,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"  dispersed={record.dispersed} time={record.time} {record.time_unit} "
                 f"moves={record.total_moves} peak_mem={record.peak_memory_bits} bits"
             )
-    return 0 if record.status == "ok" else 1
+        if record.fault_events is not None:
+            print(f"  fault_events={record.fault_events}")
+        if record.invariant_violations is not None:
+            print(f"  invariant_violations={record.invariant_violations}")
+    if record.status != "ok":
+        return 1
+    return 1 if record.invariant_violations else 0
 
 
 def _load_sweep_spec(path: str) -> SweepSpec:
@@ -158,6 +217,26 @@ def _load_sweep_spec(path: str) -> SweepSpec:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = smoke_sweep() if args.smoke else _load_sweep_spec(args.spec)
+    if args.algorithms:
+        names = (
+            core_algorithm_names()
+            if args.algorithms.strip() == "paper"
+            else [n.strip() for n in args.algorithms.split(",") if n.strip()]
+        )
+        sweep = sweep.filter_algorithms(names)
+    profiles = [parse_faults(text) for text in args.faults]
+    if profiles or args.check_invariants:
+        # --check-invariants switches checking on everywhere; without it each
+        # scenario keeps whatever its spec file configured.
+        sweep = sweep.with_profiles(
+            profiles or [{}],
+            check_invariants=True if args.check_invariants else None,
+        )
+    if not sweep.jobs():
+        raise ValueError(
+            f"sweep grid {sweep.name!r} is empty: no compatible "
+            "(algorithm, scenario) pairs -- check the algorithms and scenarios lists"
+        )
     progress = None
     if not args.quiet:
         def progress(done: int, total: int, record: Dict[str, Any]) -> None:
@@ -177,20 +256,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         artifacts_mod.write_csv(records, args.csv)
         print(f"wrote CSV view to {args.csv}")
-    failed = [
-        r for r in records
-        if r.status == "error"
-        or (r.status == "ok" and not r.dispersed and get_algorithm(r.algorithm).guaranteed)
-    ]
+    summary = artifacts_mod.fault_summary(records)
+    if summary is not None:
+        print()
+        print(summary.render())
+    failed = [record for record in records if _record_fails_sweep(record)]
     if failed:
         for record in failed:
             print(
                 f"FAILED: {record.algorithm} on {record.scenario}: "
-                f"{record.error or 'not dispersed'}",
+                f"{record.error or _fault_free_failure(record)}",
                 file=sys.stderr,
             )
         return 1
     return 0
+
+
+def _record_fails_sweep(record: RunRecord) -> bool:
+    """Whether a record should fail the sweep's exit code.
+
+    Records from *faulty* profiles never fail the sweep: crashes,
+    non-dispersal, and invariant violations under injected faults are the
+    findings the harness exists to collect.  Fault-free records fail on
+    errors, non-dispersal of guaranteed algorithms, or any invariant
+    violation.
+    """
+    if record.scenario.get("faults"):
+        return False
+    if record.status == "error":
+        return True
+    if record.status == "ok" and not record.dispersed and get_algorithm(record.algorithm).guaranteed:
+        return True
+    return bool(record.invariant_violations)
+
+
+def _fault_free_failure(record: RunRecord) -> str:
+    if record.invariant_violations:
+        return f"{record.invariant_violations} invariant violation(s)"
+    return "not dispersed"
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -201,6 +304,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     for table in tables:
         print(table.render())
+        print()
+    summary = artifacts_mod.fault_summary(records)
+    if summary is not None:
+        print(summary.render())
         print()
     skipped = [r for r in records if r.status != "ok"]
     if skipped:

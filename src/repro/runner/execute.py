@@ -17,9 +17,11 @@ from repro.runner.scenario import (
     ScenarioSpec,
     build_adversary,
     build_graph,
+    build_instrumentation,
     build_placements,
     derive_seed,
 )
+from repro.sim.instrumentation import InstrumentationConfig, instrument
 
 __all__ = ["RunRecord", "run_scenario"]
 
@@ -45,6 +47,8 @@ class RunRecord:
     max_moves_per_agent: Optional[int] = None
     peak_memory_bits: Optional[int] = None
     peak_memory_log_units: Optional[float] = None
+    fault_events: Optional[int] = None
+    invariant_violations: Optional[int] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -66,6 +70,8 @@ class RunRecord:
             "max_moves_per_agent": self.max_moves_per_agent,
             "peak_memory_bits": self.peak_memory_bits,
             "peak_memory_log_units": self.peak_memory_log_units,
+            "fault_events": self.fault_events,
+            "invariant_violations": self.invariant_violations,
             "extra": dict(self.extra),
         }
 
@@ -85,6 +91,7 @@ def run_scenario(
     """
     spec = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     record = RunRecord(algorithm=spec.name, scenario=scenario.to_dict(), k=scenario.k)
+    config = build_instrumentation(scenario)
     try:
         graph = build_graph(scenario)
         placements = build_placements(scenario, graph)
@@ -98,15 +105,17 @@ def run_scenario(
             )
             return record
         adversary = build_adversary(scenario) if spec.setting == "async" else None
-        result = spec.run(
-            graph,
-            placements,
-            adversary=adversary,
-            seed=derive_seed(scenario, "algorithm"),
-        )
+        with instrument(config):
+            result = spec.run(
+                graph,
+                placements,
+                adversary=adversary,
+                seed=derive_seed(scenario, "algorithm"),
+            )
     except Exception as exc:  # noqa: BLE001 - sweep robustness is the point
         record.status = "error"
         record.error = f"{type(exc).__name__}: {exc}"
+        _record_instrumentation(record, config)
         return record
 
     metrics = result.metrics
@@ -121,4 +130,22 @@ def run_scenario(
     record.peak_memory_bits = metrics.peak_memory_bits
     record.peak_memory_log_units = metrics.peak_memory_log_units
     record.extra = {name: float(value) for name, value in sorted(metrics.extra.items())}
+    _record_instrumentation(record, config)
     return record
+
+
+def _record_instrumentation(
+    record: RunRecord, config: Optional[InstrumentationConfig]
+) -> None:
+    """Lift fault/invariant counts onto the record (even for aborted runs).
+
+    Counts come from the config's live instances rather than the metrics
+    extras: a crashed run never reaches ``finalize_metrics``, but a fault sweep
+    must still report how many faults fired before the algorithm gave up.
+    """
+    if config is None:
+        return
+    if config.faults is not None:
+        record.fault_events = config.fault_events()
+    if config.check_invariants:
+        record.invariant_violations = config.violation_count()

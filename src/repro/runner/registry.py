@@ -26,6 +26,7 @@ __all__ = [
     "get_algorithm",
     "list_algorithms",
     "algorithm_names",
+    "core_algorithm_names",
     "supports",
 ]
 
@@ -78,6 +79,11 @@ class AlgorithmSpec:
     def time_unit(self) -> str:
         return "rounds" if self.setting == "sync" else "epochs"
 
+    @property
+    def is_paper(self) -> bool:
+        """True for the paper's own algorithms (vs. comparison baselines)."""
+        return self.entry_point.startswith("repro.core.")
+
     def run(
         self,
         graph: PortLabeledGraph,
@@ -122,6 +128,11 @@ def list_algorithms() -> List[AlgorithmSpec]:
 def algorithm_names() -> List[str]:
     """Sorted registry keys."""
     return sorted(_REGISTRY)
+
+
+def core_algorithm_names() -> List[str]:
+    """Sorted keys of the paper's own algorithms (the fault-sweep CI targets)."""
+    return [name for name in sorted(_REGISTRY) if _REGISTRY[name].is_paper]
 
 
 def supports(spec: AlgorithmSpec, placements: Mapping[int, int]) -> bool:

@@ -15,16 +15,20 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.graph import generators
 from repro.graph.port_graph import PortAssignment, PortLabeledGraph
 from repro.sim.adversary import (
+    AdaptiveCollisionAdversary,
     Adversary,
+    LazySettlerAdversary,
     RandomAdversary,
     RoundRobinAdversary,
     StarvationAdversary,
 )
+from repro.sim.faults import FaultSpec
+from repro.sim.instrumentation import InstrumentationConfig
 
 __all__ = [
     "GRAPH_FAMILIES",
@@ -32,9 +36,11 @@ __all__ = [
     "PLACEMENTS",
     "ScenarioSpec",
     "derive_seed",
+    "derive_fault_seed",
     "build_graph",
     "build_adversary",
     "build_placements",
+    "build_instrumentation",
 ]
 
 #: Graph families a spec may name, mapped to their generator in
@@ -58,7 +64,7 @@ GRAPH_FAMILIES: Dict[str, Any] = {
 }
 
 #: Adversary policies a spec may name (ASYNC runs only).
-ADVERSARIES = ("round_robin", "random", "starvation")
+ADVERSARIES = ("round_robin", "random", "starvation", "adaptive_collision", "lazy_settler")
 
 #: Initial-placement policies: ``rooted`` puts all k agents on ``start_node``;
 #: ``split`` spreads them over ``placement_parts`` evenly spaced nodes.
@@ -91,6 +97,15 @@ class ScenarioSpec:
     seed:
         Master seed; all component seeds are derived from it together with the
         rest of the spec (see :func:`derive_seed`).
+    faults:
+        Fault profile (dict form of :class:`~repro.sim.faults.FaultSpec`);
+        empty means fault-free.  The profile is *excluded* from the seed
+        derivation of graph/adversary/algorithm, so the same scenario under
+        different fault profiles runs on the identical world -- only the fault
+        schedule differs.
+    check_invariants:
+        Attach an :class:`~repro.sim.invariants.InvariantChecker` to the run's
+        engine(s); violation counts land in the run record.
     """
 
     family: str
@@ -103,6 +118,8 @@ class ScenarioSpec:
     adversary: str = "round_robin"
     adversary_params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
+    faults: Mapping[str, Any] = field(default_factory=dict)
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.family not in GRAPH_FAMILIES:
@@ -118,10 +135,12 @@ class ScenarioSpec:
             raise ValueError("k must be >= 1")
         if self.placement == "split" and self.placement_parts < 2:
             raise ValueError("split placement needs placement_parts >= 2")
+        FaultSpec.from_dict(self.faults)  # raises on unknown/invalid fault fields
         # Copy the mappings so a spec cannot be mutated through the caller's
         # dicts after construction.
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "adversary_params", dict(self.adversary_params))
+        object.__setattr__(self, "faults", dict(self.faults))
 
     def __hash__(self) -> int:
         # The dataclass-generated hash would choke on the dict fields; the
@@ -130,8 +149,14 @@ class ScenarioSpec:
         return hash(self.key())
 
     # -------------------------------------------------------- serialization
-    def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-safe, round-trips through :meth:`from_dict`)."""
+    def base_dict(self) -> Dict[str, Any]:
+        """The world-defining fields: everything except faults/invariants.
+
+        This is the pre-fault-subsystem spec format; :func:`derive_seed` hashes
+        it so (a) component seeds are unchanged from earlier artifact formats
+        and (b) every fault profile of a scenario shares the same graph,
+        placement, and adversary stream.
+        """
         return {
             "family": self.family,
             "params": dict(self.params),
@@ -145,6 +170,13 @@ class ScenarioSpec:
             "seed": self.seed,
         }
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe, round-trips through :meth:`from_dict`)."""
+        data = self.base_dict()
+        data["faults"] = dict(self.faults)
+        data["check_invariants"] = self.check_invariants
+        return data
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         known = {f for f in cls.__dataclass_fields__}
@@ -157,9 +189,23 @@ class ScenarioSpec:
         """Canonical JSON string of the spec -- stable across processes/runs."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    def base_key(self) -> str:
+        """Canonical JSON of :meth:`base_dict` (the seed-derivation key)."""
+        return json.dumps(self.base_dict(), sort_keys=True, separators=(",", ":"))
+
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """The same scenario under a different master seed."""
         return replace(self, seed=seed)
+
+    def with_faults(
+        self,
+        faults: Mapping[str, Any],
+        check_invariants: Optional[bool] = None,
+    ) -> "ScenarioSpec":
+        """The same world under a different fault profile (see ``faults`` docs)."""
+        if check_invariants is None:
+            check_invariants = self.check_invariants
+        return replace(self, faults=dict(faults), check_invariants=check_invariants)
 
     def label(self) -> str:
         """Compact human-readable tag used in logs and CSV rows."""
@@ -170,12 +216,23 @@ class ScenarioSpec:
 def derive_seed(spec: ScenarioSpec, component: str) -> int:
     """Deterministic per-component seed for a scenario.
 
-    Hashing the canonical spec string together with the component name gives
-    independent, reproducible streams for graph generation, the adversary, and
-    randomized algorithms -- without any global RNG state, so sweep workers can
-    run scenarios in any order.
+    Hashing the canonical *base* spec string together with the component name
+    gives independent, reproducible streams for graph generation, the
+    adversary, and randomized algorithms -- without any global RNG state, so
+    sweep workers can run scenarios in any order.  Fault fields are excluded
+    (see :meth:`ScenarioSpec.base_dict`): the fault schedule draws from its own
+    seed via :func:`derive_fault_seed` instead.
     """
-    digest = hashlib.sha256(f"{spec.key()}#{component}".encode("utf-8")).digest()
+    digest = hashlib.sha256(f"{spec.base_key()}#{component}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_fault_seed(spec: ScenarioSpec) -> int:
+    """Seed for the fault schedule; distinct profiles get distinct schedules."""
+    profile = json.dumps(dict(spec.faults), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(
+        f"{spec.base_key()}#{profile}#faults".encode("utf-8")
+    ).digest()
     return int.from_bytes(digest[:8], "big")
 
 
@@ -196,8 +253,32 @@ def build_adversary(spec: ScenarioSpec) -> Adversary:
         return RoundRobinAdversary()
     if spec.adversary == "random":
         return RandomAdversary(seed=derive_seed(spec, "adversary"))
+    if spec.adversary == "adaptive_collision":
+        return AdaptiveCollisionAdversary(
+            seed=derive_seed(spec, "adversary"), **spec.adversary_params
+        )
+    if spec.adversary == "lazy_settler":
+        return LazySettlerAdversary(
+            seed=derive_seed(spec, "adversary"), **spec.adversary_params
+        )
     return StarvationAdversary(
         seed=derive_seed(spec, "adversary"), **spec.adversary_params
+    )
+
+
+def build_instrumentation(spec: ScenarioSpec) -> Optional[InstrumentationConfig]:
+    """Fault/invariant instrumentation for the scenario (``None`` when plain).
+
+    The returned config is handed to :func:`repro.sim.instrumentation.instrument`
+    around the algorithm run; engines constructed inside pick it up.
+    """
+    fault_spec = FaultSpec.from_dict(spec.faults)
+    if not fault_spec.is_active and not spec.check_invariants:
+        return None
+    return InstrumentationConfig(
+        faults=fault_spec if fault_spec.is_active else None,
+        fault_seed=derive_fault_seed(spec),
+        check_invariants=spec.check_invariants,
     )
 
 

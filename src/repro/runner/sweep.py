@@ -88,6 +88,33 @@ class SweepSpec:
             or scenario.placement == "rooted"
         ]
 
+    def with_profiles(
+        self,
+        profiles: Sequence[Mapping[str, Any]],
+        check_invariants: Optional[bool] = None,
+    ) -> "SweepSpec":
+        """Cross this sweep's scenarios with a list of fault profiles.
+
+        Each profile is the dict form of a :class:`~repro.sim.faults.FaultSpec`
+        (``{}`` is the fault-free profile).  Scenario order is
+        profile-major, so artifact diffs group whole profiles together.
+        ``check_invariants=None`` keeps each scenario's own setting (a spec
+        file may enable checking per scenario); a bool overrides it everywhere.
+        """
+        scenarios = [
+            scenario.with_faults(profile, check_invariants=check_invariants)
+            for profile in profiles
+            for scenario in self.scenarios
+        ]
+        return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
+
+    def filter_algorithms(self, names: Sequence[str]) -> "SweepSpec":
+        """Restrict the sweep to a subset of its algorithms (unknown names raise)."""
+        for name in names:
+            get_algorithm(name)
+        keep = [name for name in self.algorithms if name in set(names)]
+        return SweepSpec(name=self.name, algorithms=keep, scenarios=list(self.scenarios))
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,

@@ -1,13 +1,19 @@
-"""Execution substrates: synchronous round engine and asynchronous CCM scheduler."""
+"""Execution substrates: synchronous round engine and asynchronous CCM scheduler,
+plus the fault-injection and invariant-checking layers that stress them."""
 
 from repro.sim.sync_engine import SyncEngine
 from repro.sim.async_engine import AsyncEngine, Move, Stay, WaitUntil
 from repro.sim.adversary import (
     Adversary,
+    AdaptiveCollisionAdversary,
+    LazySettlerAdversary,
     RandomAdversary,
     RoundRobinAdversary,
     StarvationAdversary,
 )
+from repro.sim.faults import FaultEvent, FaultInjector, FaultSpec, parse_faults
+from repro.sim.instrumentation import InstrumentationConfig, current, instrument
+from repro.sim.invariants import InvariantChecker, InvariantError, InvariantViolation
 from repro.sim.metrics import RunMetrics
 from repro.sim.result import DispersionResult
 
@@ -18,9 +24,21 @@ __all__ = [
     "Stay",
     "WaitUntil",
     "Adversary",
+    "AdaptiveCollisionAdversary",
+    "LazySettlerAdversary",
     "RandomAdversary",
     "RoundRobinAdversary",
     "StarvationAdversary",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "parse_faults",
+    "InstrumentationConfig",
+    "current",
+    "instrument",
+    "InvariantChecker",
+    "InvariantError",
+    "InvariantViolation",
     "RunMetrics",
     "DispersionResult",
 ]

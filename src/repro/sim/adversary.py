@@ -14,20 +14,40 @@ policies:
 * :class:`RoundRobinAdversary` -- cyclic order (the "most synchronous" adversary),
 * :class:`StarvationAdversary` -- a chosen set of victim agents is activated only
   once for every ``slowdown`` activations of the others, which stretches every
-  epoch and stresses the waiting logic of ``Async_Probe``/``Guest_See_Off``.
+  epoch and stresses the waiting logic of ``Async_Probe``/``Guest_See_Off``,
+* :class:`AdaptiveCollisionAdversary` -- *adaptive*: it observes the engine and
+  preferentially activates agents at the most crowded node, keeping explorer
+  packs together to maximize contention at the DFS head,
+* :class:`LazySettlerAdversary` -- adaptive: settled agents (whose replies the
+  probing primitives wait for) act only once per ``laziness`` activations of
+  the unsettled ones.
+
+Adaptive adversaries remain *fair*: both enforce a bounded-staleness guarantee
+(no agent waits more than a fixed number of activations), which is exactly the
+fairness assumption the paper's model grants the algorithm.
+
+Every adversary supports deterministic re-binding: :meth:`Adversary.bind`
+resets all internal state (RNG streams, cursors), so reusing one adversary
+object across engines replays the same schedule -- a property the runner's
+byte-deterministic artifacts rely on.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Iterable, List, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.async_engine import AsyncEngine
 
 __all__ = [
     "Adversary",
     "RandomAdversary",
     "RoundRobinAdversary",
     "StarvationAdversary",
+    "AdaptiveCollisionAdversary",
+    "LazySettlerAdversary",
 ]
 
 
@@ -35,8 +55,20 @@ class Adversary(abc.ABC):
     """Chooses which agent performs the next CCM cycle."""
 
     def bind(self, agent_ids: Sequence[int]) -> None:
-        """Called once by the engine with the full set of agent ids."""
+        """Called by the engine with the full set of agent ids.
+
+        Re-binding (engine reuse) must reset every piece of internal state, so
+        the activation sequence is a pure function of the bound population --
+        subclasses that keep RNGs or cursors reset them in their override.
+        """
         self.agent_ids = list(agent_ids)
+
+    def attach(self, engine: "AsyncEngine") -> None:
+        """Give adaptive adversaries a read-only view of the engine.
+
+        Called by the engine right after :meth:`bind`.  The default is a no-op:
+        oblivious adversaries never look at the execution.
+        """
 
     @abc.abstractmethod
     def next_agent(self) -> int:
@@ -47,7 +79,13 @@ class RandomAdversary(Adversary):
     """Uniformly random activations (seeded, reproducible)."""
 
     def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
         self._rng = random.Random(seed)
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        super().bind(agent_ids)
+        # Restart the stream so a re-bound adversary replays deterministically.
+        self._rng = random.Random(self._seed)
 
     def next_agent(self) -> int:
         return self._rng.choice(self.agent_ids)
@@ -57,6 +95,10 @@ class RoundRobinAdversary(Adversary):
     """Cyclic activation order; every epoch is exactly one pass over the agents."""
 
     def __init__(self) -> None:
+        self._index = 0
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        super().bind(agent_ids)
         self._index = 0
 
     def next_agent(self) -> int:
@@ -88,6 +130,7 @@ class StarvationAdversary(Adversary):
         self._victims_spec = victims
         self._num_victims = num_victims
         self._slowdown = slowdown
+        self._seed = seed
         self._rng = random.Random(seed)
         self._victims: Set[int] = set()
         self._others: List[int] = []
@@ -95,6 +138,8 @@ class StarvationAdversary(Adversary):
 
     def bind(self, agent_ids: Sequence[int]) -> None:
         super().bind(agent_ids)
+        self._rng = random.Random(self._seed)
+        self._counter = 0
         ordered = sorted(agent_ids)
         if isinstance(self._victims_spec, str):
             if self._victims_spec == "largest":
@@ -116,3 +161,118 @@ class StarvationAdversary(Adversary):
         if self._victims and self._counter % (self._slowdown * max(1, len(self._others))) == 0:
             return self._rng.choice(sorted(self._victims))
         return self._rng.choice(self._others)
+
+
+class _AdaptiveAdversary(Adversary):
+    """Shared machinery for adversaries that observe the engine.
+
+    Maintains a bounded-staleness fairness guarantee: whenever some agent has
+    not acted for ``starvation_bound`` activations (default ``8 * k``), it is
+    activated next, regardless of the adaptive policy.  Without an attached
+    engine (standalone use) the policy degrades to seeded-random choices.
+    """
+
+    def __init__(self, seed: int = 0, starvation_bound: Optional[int] = None) -> None:
+        self._seed = seed
+        self._starvation_bound = starvation_bound
+        self._rng = random.Random(seed)
+        self._engine: Optional["AsyncEngine"] = None
+        self._last_active: Dict[int, int] = {}
+        self._clock = 0
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        super().bind(agent_ids)
+        self._rng = random.Random(self._seed)
+        self._last_active = {agent_id: 0 for agent_id in self.agent_ids}
+        self._clock = 0
+
+    def attach(self, engine: "AsyncEngine") -> None:
+        self._engine = engine
+
+    @property
+    def bound(self) -> int:
+        return self._starvation_bound or 8 * len(self.agent_ids)
+
+    def next_agent(self) -> int:
+        self._clock += 1
+        stalest = min(self._last_active, key=lambda a: (self._last_active[a], a))
+        if self._clock - self._last_active[stalest] > self.bound:
+            choice = stalest
+        else:
+            choice = self._pick()
+        self._last_active[choice] = self._clock
+        return choice
+
+    def _pick(self) -> int:
+        """The adaptive policy; subclasses override."""
+        return self._rng.choice(self.agent_ids)
+
+
+class AdaptiveCollisionAdversary(_AdaptiveAdversary):
+    """Activate an agent at the most crowded node ``crowd_bias`` of the time.
+
+    Crowds are where collisions, probe contention, and co-location writes
+    happen, so concentrating activations there is the natural adaptive attack
+    on the probing primitives.  Ties between equally crowded nodes break to the
+    lowest node index, and within the crowd the least recently activated agent
+    is chosen -- both deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crowd_bias: float = 0.75,
+        starvation_bound: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed, starvation_bound=starvation_bound)
+        if not (0.0 <= crowd_bias <= 1.0):
+            raise ValueError("crowd_bias must be in [0, 1]")
+        self._crowd_bias = crowd_bias
+
+    def _pick(self) -> int:
+        engine = self._engine
+        if engine is None or self._rng.random() >= self._crowd_bias:
+            return self._rng.choice(self.agent_ids)
+        occupancy = engine._occupancy
+        crowd: Set[int] = max(
+            (occupancy[node] for node in range(len(occupancy)) if occupancy[node]),
+            key=len,
+            default=set(),
+        )
+        # max() with key=len keeps the first maximum, i.e. the lowest node.
+        eligible = [a for a in crowd if a in self._last_active]
+        if not eligible:
+            return self._rng.choice(self.agent_ids)
+        return min(eligible, key=lambda a: (self._last_active[a], a))
+
+
+class LazySettlerAdversary(_AdaptiveAdversary):
+    """Settled agents act only once per ``laziness`` unsettled activations.
+
+    The probing primitives repeatedly wait on *settled* agents (record holders,
+    recruited helpers); delaying exactly those agents maximizes the waiting in
+    ``WaitUntil`` loops while the unsettled frontier races ahead.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        laziness: int = 4,
+        starvation_bound: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed, starvation_bound=starvation_bound)
+        if laziness < 1:
+            raise ValueError("laziness must be >= 1")
+        self._laziness = laziness
+
+    def _pick(self) -> int:
+        engine = self._engine
+        if engine is None:
+            return self._rng.choice(self.agent_ids)
+        settled = [a for a in self.agent_ids if engine.agents[a].settled]
+        unsettled = [a for a in self.agent_ids if not engine.agents[a].settled]
+        if settled and (not unsettled or self._clock % (self._laziness + 1) == 0):
+            return self._rng.choice(settled)
+        if unsettled:
+            return self._rng.choice(unsettled)
+        return self._rng.choice(self.agent_ids)

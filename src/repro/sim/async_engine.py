@@ -29,7 +29,10 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Unio
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
+from repro.sim import instrumentation
 from repro.sim.adversary import Adversary, RandomAdversary
+from repro.sim.faults import FaultInjector
+from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import RunMetrics
 
 __all__ = ["Move", "Stay", "WaitUntil", "AsyncEngine"]
@@ -74,6 +77,10 @@ class AsyncEngine:
         Activation policy; defaults to :class:`RandomAdversary` with seed 0.
     max_activations:
         Safety cap turning livelock bugs into test failures.
+    fault_injector, invariant_checker:
+        Optional fault model and run-time safety checks (see
+        :mod:`repro.sim.faults` / :mod:`repro.sim.invariants`); resolved from
+        the ambient :mod:`repro.sim.instrumentation` context when omitted.
     """
 
     def __init__(
@@ -82,6 +89,8 @@ class AsyncEngine:
         agents: Iterable[Agent],
         adversary: Optional[Adversary] = None,
         max_activations: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        invariant_checker: Optional[InvariantChecker] = None,
     ) -> None:
         self.graph = graph
         self.agents: Dict[int, Agent] = {}
@@ -97,7 +106,17 @@ class AsyncEngine:
             raise ValueError("need at least one agent")
         self.adversary = adversary if adversary is not None else RandomAdversary(0)
         self.adversary.bind(sorted(self.agents))
+        self.adversary.attach(self)
         self.max_activations = max_activations
+        config = instrumentation.current()
+        if fault_injector is None and config is not None:
+            fault_injector = config.make_injector(sorted(self.agents))
+        if invariant_checker is None and config is not None:
+            invariant_checker = config.make_checker(graph, self.agents)
+        elif invariant_checker is not None:
+            invariant_checker.attach(graph, self.agents)
+        self.fault_injector = fault_injector
+        self.invariant_checker = invariant_checker
 
         self.metrics = RunMetrics()
         self._moves_per_agent: Dict[int, int] = {}
@@ -155,7 +174,19 @@ class AsyncEngine:
 
     def _activate(self, agent_id: int) -> None:
         agent = self.agents[agent_id]
-        self.metrics.activations += 1
+        now = self.metrics.activations
+        self.metrics.activations = now + 1
+        injector = self.fault_injector
+        if injector is not None:
+            injector.begin_tick(now, self)
+            if injector.is_blocked(agent_id, now):
+                # A crashed/frozen agent is scheduled but performs no cycle; it
+                # does not count toward the epoch (an epoch ends only when every
+                # agent *completes* a CCM cycle).
+                injector.count_blocked()
+                if self.invariant_checker is not None:
+                    self.invariant_checker.after_tick(now + 1)
+                return
 
         action = self._pending[agent_id]
         if action is None:
@@ -185,6 +216,8 @@ class AsyncEngine:
         if len(self._active_this_epoch) == len(self.agents):
             self.metrics.epochs += 1
             self._active_this_epoch.clear()
+        if self.invariant_checker is not None:
+            self.invariant_checker.after_tick(now + 1)
 
     def _move(self, agent: Agent, port: int) -> None:
         dst, rev = self.graph.move(agent.position, port)
@@ -218,7 +251,15 @@ class AsyncEngine:
         return {a.agent_id: a.position for a in self.agents.values()}
 
     def finalize_metrics(self) -> RunMetrics:
-        """Fold per-agent memory peaks into the run metrics and return them."""
+        """Fold per-agent memory peaks (and any fault/invariant counters) into
+        the run metrics and return them."""
         self.close_epoch()
         self.metrics.record_memory(self.agents.values())
+        if self.invariant_checker is not None:
+            self.invariant_checker.finalize(self.metrics.activations)
+            for name, value in self.invariant_checker.metrics_extra().items():
+                self.metrics.set_extra(name, value)
+        if self.fault_injector is not None:
+            for name, value in self.fault_injector.metrics_extra().items():
+                self.metrics.set_extra(name, value)
         return self.metrics

@@ -1,0 +1,297 @@
+"""Fault models for the simulation engines (adversarial world dynamics).
+
+The paper's algorithms are analysed in a static, fault-free world; this module
+supplies the complementary *stress* axis: seeded, reproducible fault schedules
+that the engines apply while an algorithm runs, so sweeps can probe how far
+each algorithm's guarantees survive outside its model.  Three fault kinds are
+supported, mirroring the drop/freeze harness of the CCMModel stress tests and
+the dynamic-graph literature:
+
+* **crash-stop** -- an agent halts forever at a scheduled time: it stays on its
+  node (still observable by co-located agents) but never moves or executes
+  another cycle;
+* **freeze/resume** -- an agent is inert during a scheduled window and resumes
+  afterwards, modelling arbitrarily long (but finite) delays beyond what the
+  activation adversary alone can produce;
+* **edge churn** -- a scheduled rewiring of the graph that removes a non-bridge
+  edge and inserts a fresh one, preserving connectivity and the port-bijection
+  contract (see :meth:`repro.graph.port_graph.PortLabeledGraph.rewire`) while
+  invalidating any port a settled agent may have memorised.
+
+A :class:`FaultSpec` is plain JSON-safe configuration (what faults, with what
+probability, over what horizon); a :class:`FaultInjector` is the runtime object
+owned by an engine.  The entire schedule is precomputed from a seed at
+construction time, so fault timing is a pure function of ``(spec, seed)`` --
+independent of scheduling, worker count, or dict iteration order -- which keeps
+sweep artifacts byte-deterministic.
+
+Time is the engine's native unit: rounds for :class:`~repro.sim.sync_engine.
+SyncEngine`, activations for :class:`~repro.sim.async_engine.AsyncEngine`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["FaultSpec", "FaultEvent", "FaultInjector", "parse_faults"]
+
+#: Keys accepted in the dict form of a fault profile.
+_SPEC_KEYS = ("crash", "freeze", "freeze_duration", "churn", "horizon")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault profile: which faults occur, how often, over what horizon.
+
+    Attributes
+    ----------
+    crash:
+        Probability that each agent crash-stops at a uniformly random time in
+        ``[0, horizon)``.
+    freeze:
+        Probability that each agent gets one freeze window starting at a
+        uniformly random time in ``[0, horizon)``.
+    freeze_duration:
+        Length of each freeze window, in engine ticks.
+    churn:
+        Per-tick probability of a rewiring event while ``t < horizon``.
+    horizon:
+        Number of initial engine ticks during which faults may start.  Faults
+        scheduled late in a run that ends early simply never fire.
+    """
+
+    crash: float = 0.0
+    freeze: float = 0.0
+    freeze_duration: int = 40
+    churn: float = 0.0
+    # Small enough that fault times land inside typical SYNC runs on
+    # test-scale graphs (a few hundred rounds), early enough to matter for
+    # ASYNC runs (tens of thousands of activations).
+    horizon: int = 240
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "freeze", "churn"):
+            value = getattr(self, name)
+            if not (0.0 <= float(value) <= 1.0):
+                raise ValueError(f"fault probability {name}={value!r} must be in [0, 1]")
+        if self.freeze_duration < 1:
+            raise ValueError("freeze_duration must be >= 1")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+
+    @property
+    def is_active(self) -> bool:
+        """True when the profile can produce at least one fault."""
+        return self.crash > 0 or self.freeze > 0 or self.churn > 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (only non-default entries, canonical for specs)."""
+        default = FaultSpec()
+        return {
+            key: getattr(self, key)
+            for key in _SPEC_KEYS
+            if getattr(self, key) != getattr(default, key)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        unknown = set(data) - set(_SPEC_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault fields {sorted(unknown)}; known: {list(_SPEC_KEYS)}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultSpec":
+        """Parse the CLI shorthand, e.g. ``"crash:0.1,freeze:0.2:40,churn:0.02"``.
+
+        ``"none"`` (or an empty string) is the fault-free profile.  ``freeze``
+        takes an optional third field, the window length; ``horizon:N`` adjusts
+        the scheduling horizon.
+        """
+        text = text.strip()
+        if text in ("", "none", "off"):
+            return cls()
+        fields: Dict[str, Any] = {}
+        for clause in text.split(","):
+            parts = clause.strip().split(":")
+            name = parts[0].strip()
+            if name == "crash" and len(parts) == 2:
+                fields["crash"] = _prob(clause, parts[1])
+            elif name == "freeze" and len(parts) in (2, 3):
+                fields["freeze"] = _prob(clause, parts[1])
+                if len(parts) == 3:
+                    fields["freeze_duration"] = _positive_int(clause, parts[2])
+            elif name == "churn" and len(parts) == 2:
+                fields["churn"] = _prob(clause, parts[1])
+            elif name == "horizon" and len(parts) == 2:
+                fields["horizon"] = _positive_int(clause, parts[1])
+            else:
+                raise ValueError(
+                    f"malformed fault clause {clause.strip()!r}; expected "
+                    "crash:P, freeze:P[:DURATION], churn:P, or horizon:N"
+                )
+        return cls.from_dict(fields)
+
+
+def _prob(clause: str, raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"fault clause {clause.strip()!r}: {raw!r} is not a number") from None
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"fault clause {clause.strip()!r}: probability must be in [0, 1]")
+    return value
+
+
+def _positive_int(clause: str, raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"fault clause {clause.strip()!r}: {raw!r} is not an integer") from None
+    if value < 1:
+        raise ValueError(f"fault clause {clause.strip()!r}: value must be >= 1")
+    return value
+
+
+def parse_faults(text: str) -> Dict[str, Any]:
+    """CLI helper: shorthand string -> JSON-safe profile dict (may be empty)."""
+    return FaultSpec.from_string(text).to_dict()
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired during a run."""
+
+    time: int
+    kind: str  # "crash" | "freeze" | "thaw" | "churn"
+    detail: str
+
+
+class FaultInjector:
+    """Applies a precomputed fault schedule to a running engine.
+
+    The engine calls :meth:`begin_tick` once per tick (before executing agent
+    actions) and :meth:`is_blocked` per agent action.  All randomness is
+    consumed at construction, so two injectors built from the same
+    ``(spec, agent_ids, seed)`` behave identically regardless of how the run
+    unfolds -- except churn targets, which are drawn from a dedicated stream at
+    event time because they depend on the graph's current shape.
+    """
+
+    def __init__(self, spec: FaultSpec, agent_ids: Sequence[int], seed: int) -> None:
+        self.spec = spec
+        rng = random.Random(seed)
+        self.crash_at: Dict[int, int] = {}
+        self.freeze_window: Dict[int, Tuple[int, int]] = {}
+        # Iterate ids in sorted order so the schedule is independent of the
+        # caller's container ordering.
+        for agent_id in sorted(agent_ids):
+            if spec.crash > 0 and rng.random() < spec.crash:
+                self.crash_at[agent_id] = rng.randrange(spec.horizon)
+            if spec.freeze > 0 and rng.random() < spec.freeze:
+                start = rng.randrange(spec.horizon)
+                self.freeze_window[agent_id] = (start, start + spec.freeze_duration)
+        self.churn_times: List[int] = (
+            [t for t in range(spec.horizon) if rng.random() < spec.churn]
+            if spec.churn > 0
+            else []
+        )
+        self._churn_rng = random.Random(rng.getrandbits(64))
+        self._next_churn = 0
+        self._crash_announced: set[int] = set()
+        self._freeze_announced: set[int] = set()
+        self.events: List[FaultEvent] = []
+        self.counts: Dict[str, int] = {
+            "crash": 0,
+            "freeze": 0,
+            "churn": 0,
+            "blocked": 0,
+        }
+
+    # ------------------------------------------------------------------ ticks
+    def begin_tick(self, time: int, engine: Any) -> None:
+        """Apply all world-level events due at ``time`` (churn, fault logging)."""
+        for agent_id, when in self.crash_at.items():
+            if when <= time and agent_id not in self._crash_announced:
+                self._crash_announced.add(agent_id)
+                self.counts["crash"] += 1
+                self.events.append(FaultEvent(time, "crash", f"agent {agent_id} crash-stops"))
+        for agent_id, (start, end) in self.freeze_window.items():
+            if start <= time and agent_id not in self._freeze_announced:
+                self._freeze_announced.add(agent_id)
+                self.counts["freeze"] += 1
+                self.events.append(
+                    FaultEvent(time, "freeze", f"agent {agent_id} frozen until t={end}")
+                )
+        while self._next_churn < len(self.churn_times) and self.churn_times[self._next_churn] <= time:
+            self._next_churn += 1
+            detail = self._apply_churn(engine.graph)
+            if detail is not None:
+                self.counts["churn"] += 1
+                self.events.append(FaultEvent(time, "churn", detail))
+
+    def is_blocked(self, agent_id: int, time: int) -> bool:
+        """True when the agent may not act at ``time`` (crashed or frozen)."""
+        when = self.crash_at.get(agent_id)
+        if when is not None and when <= time:
+            return True
+        window = self.freeze_window.get(agent_id)
+        if window is not None and window[0] <= time < window[1]:
+            return True
+        return False
+
+    def filter_moves(
+        self, moves: Mapping[int, Optional[int]], time: int
+    ) -> Dict[int, Optional[int]]:
+        """Drop moves of blocked agents, counting each suppression."""
+        allowed: Dict[int, Optional[int]] = {}
+        for agent_id, port in moves.items():
+            if port is not None and self.is_blocked(agent_id, time):
+                self.counts["blocked"] += 1
+            else:
+                allowed[agent_id] = port
+        return allowed
+
+    def count_blocked(self) -> None:
+        """Record one suppressed activation (ASYNC engine)."""
+        self.counts["blocked"] += 1
+
+    # ------------------------------------------------------------------ churn
+    def _apply_churn(self, graph: Any) -> Optional[str]:
+        """One rewiring event: remove a non-bridge edge, add a fresh edge.
+
+        Returns a human-readable description, or ``None`` when the graph offers
+        no legal rewiring (e.g. a tree that is also complete -- impossible for
+        n >= 3, but tiny graphs can lack either half).  Each half is optional:
+        trees only gain an edge, complete graphs only lose one.
+        """
+        rng = self._churn_rng
+        removable = graph.removable_edges()
+        missing = graph.missing_edges()
+        remove = rng.choice(sorted(removable)) if removable else None
+        add = rng.choice(sorted(missing)) if missing else None
+        if remove is None and add is None:
+            return None
+        graph.rewire(remove=remove, add=add)
+        return f"rewire -{remove} +{add}"
+
+    # ---------------------------------------------------------------- reports
+    @property
+    def total_events(self) -> int:
+        """World-level fault events (crashes + freezes + churn); suppressed
+        agent actions are reported separately as ``fault_blocked``."""
+        return self.counts["crash"] + self.counts["freeze"] + self.counts["churn"]
+
+    def metrics_extra(self) -> Dict[str, float]:
+        """Counters folded into :class:`~repro.sim.metrics.RunMetrics` extras."""
+        return {
+            "fault_events": float(self.total_events),
+            "fault_crash": float(self.counts["crash"]),
+            "fault_freeze": float(self.counts["freeze"]),
+            "fault_churn": float(self.counts["churn"]),
+            "fault_blocked": float(self.counts["blocked"]),
+        }

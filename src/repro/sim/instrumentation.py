@@ -1,0 +1,113 @@
+"""Ambient fault/invariant instrumentation for the simulation engines.
+
+The algorithm drivers construct their engines internally (sometimes more than
+one: the rooted SYNC driver builds a second engine for its small-``k``
+fallback, the general drivers share one engine across DFS groups).  Threading
+fault and invariant configuration through every driver signature would touch
+every algorithm for what is purely simulator-level concern, so the runner
+instead establishes an *instrumentation context*: a scoped configuration that
+any engine constructed inside the ``with`` block picks up automatically.
+
+    config = InstrumentationConfig(faults=FaultSpec(crash=0.1), fault_seed=7,
+                                   check_invariants=True)
+    with instrument(config):
+        result = spec.run(graph, placements, adversary, seed)
+    print(config.checkers[-1].summary())
+
+Engines may also be given explicit ``fault_injector`` / ``invariant_checker``
+arguments, which take precedence over the ambient context (used by unit
+tests).  The context is plain module state, not a ``contextvar``: engines and
+drivers are single-threaded within a process, and sweep workers are separate
+processes that each establish their own context.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Mapping, Optional, Sequence
+
+from repro.sim.faults import FaultInjector, FaultSpec
+from repro.sim.invariants import InvariantChecker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.agent import Agent
+    from repro.graph.port_graph import PortLabeledGraph
+
+__all__ = ["InstrumentationConfig", "instrument", "current"]
+
+
+@dataclass
+class InstrumentationConfig:
+    """What to inject and what to verify for engines built under the context.
+
+    Attributes
+    ----------
+    faults, fault_seed:
+        Fault profile and the seed its schedule derives from (``None`` /
+        inactive profile disables injection).
+    check_invariants, check_every, strict:
+        Invariant-checker construction parameters.
+    injectors, checkers:
+        Every instance handed to an engine while the context was active, in
+        construction order.  The caller reads counts from these even when the
+        run aborts mid-way (fault sweeps *expect* aborted runs).
+    """
+
+    faults: Optional[FaultSpec] = None
+    fault_seed: int = 0
+    check_invariants: bool = False
+    check_every: int = 1
+    strict: bool = False
+    injectors: List[FaultInjector] = field(default_factory=list)
+    checkers: List[InvariantChecker] = field(default_factory=list)
+
+    def make_injector(self, agent_ids: Sequence[int]) -> Optional[FaultInjector]:
+        if self.faults is None or not self.faults.is_active:
+            return None
+        injector = FaultInjector(self.faults, agent_ids, seed=self.fault_seed)
+        self.injectors.append(injector)
+        return injector
+
+    def make_checker(
+        self, graph: "PortLabeledGraph", agents: Mapping[int, "Agent"]
+    ) -> Optional[InvariantChecker]:
+        if not self.check_invariants:
+            return None
+        checker = InvariantChecker(check_every=self.check_every, strict=self.strict)
+        checker.attach(graph, agents)
+        self.checkers.append(checker)
+        return checker
+
+    @property
+    def active(self) -> bool:
+        return self.check_invariants or (self.faults is not None and self.faults.is_active)
+
+    # ------------------------------------------------------------- aggregates
+    def fault_events(self) -> int:
+        """World-level fault events across every engine run under this config."""
+        return sum(injector.total_events for injector in self.injectors)
+
+    def violation_count(self) -> int:
+        """Invariant violations across every engine run under this config."""
+        return sum(checker.violation_count for checker in self.checkers)
+
+
+_current: Optional[InstrumentationConfig] = None
+
+
+def current() -> Optional[InstrumentationConfig]:
+    """The active instrumentation context, if any (engines call this)."""
+    return _current
+
+
+@contextmanager
+def instrument(config: Optional[InstrumentationConfig]) -> Iterator[Optional[InstrumentationConfig]]:
+    """Scope ``config`` as the ambient instrumentation (``None`` is a no-op)."""
+    global _current
+    previous = _current
+    _current = config
+    try:
+        yield config
+    finally:
+        _current = previous

@@ -1,0 +1,204 @@
+"""Run-time invariant checking for dispersion executions.
+
+The algorithms of the paper maintain a handful of safety properties at *every*
+step, not only at the end; a fault or a bug can violate them long before the
+final configuration is inspected.  :class:`InvariantChecker` hooks into
+:meth:`repro.sim.sync_engine.SyncEngine.step` and
+:meth:`repro.sim.async_engine.AsyncEngine._activate` and continuously verifies:
+
+* **unique settlement** -- no two settled agents claim the same home node
+  (the ≤ 1 settled agent per node safety property of dispersion);
+* **settled consistency** -- the simulator's ``agent.settled`` attribute agrees
+  with the agent's persistent ``settled`` memory bit, and every settled agent
+  has a home;
+* **monotone settled count** -- the number of settled agents never drops except
+  through the sanctioned :meth:`repro.agents.agent.Agent.unsettle` protocol
+  (Backtrack_Move / subsumption), i.e. no state corruption un-settles agents;
+* **port bijection** -- after every churn event
+  (:meth:`repro.graph.port_graph.PortLabeledGraph.rewire`) the ports at each
+  node are again a bijection onto ``1..deg`` with consistent reverse ports;
+* **final dispersion validity** -- at finalization, settled agents sit on
+  pairwise distinct nodes, each at its recorded home.
+
+Violations are collected as data by default (a falsification harness must keep
+running to count them); ``strict=True`` turns the first violation into an
+:class:`InvariantError` for use in tests.  Checking is O(k) per tick, so the
+``check_every`` knob exists for large sweeps; the port-bijection check is O(m)
+but runs only when the graph's churn counter moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.agent import Agent
+    from repro.graph.port_graph import PortLabeledGraph
+
+__all__ = ["InvariantError", "InvariantViolation", "InvariantChecker"]
+
+
+class InvariantError(AssertionError):
+    """Raised in strict mode when an invariant is violated."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected violation: when, which invariant, and what was observed."""
+
+    time: int
+    name: str
+    detail: str
+
+
+class InvariantChecker:
+    """Continuously verifies dispersion safety properties during a run.
+
+    Parameters
+    ----------
+    check_every:
+        Run the per-tick checks every this many ticks (1 = every tick).  The
+        final checks always run at :meth:`finalize` regardless.
+    strict:
+        Raise :class:`InvariantError` on the first violation instead of
+        collecting it.
+    max_recorded:
+        Cap on stored :class:`InvariantViolation` entries (counting continues
+        past the cap; only the details are dropped).
+    """
+
+    def __init__(
+        self,
+        check_every: int = 1,
+        strict: bool = False,
+        max_recorded: int = 100,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.check_every = check_every
+        self.strict = strict
+        self.max_recorded = max_recorded
+        self.violations: List[InvariantViolation] = []
+        self.violation_count = 0
+        self.checks_run = 0
+        self._graph: "PortLabeledGraph" | None = None
+        self._agents: Mapping[int, "Agent"] = {}
+        self._prev_settled = 0
+        self._prev_unsettles = 0
+        self._seen_churn = 0
+        self._tick_counter = 0
+
+    # ------------------------------------------------------------------ wiring
+    def attach(self, graph: "PortLabeledGraph", agents: Mapping[int, "Agent"]) -> None:
+        """Bind to an engine's world; resets the monotonicity baseline."""
+        self._graph = graph
+        self._agents = agents
+        self._prev_settled = sum(1 for a in agents.values() if a.settled)
+        self._prev_unsettles = sum(a.unsettle_count for a in agents.values())
+        self._seen_churn = graph.churn_count
+        self._tick_counter = 0
+
+    # ------------------------------------------------------------------ checks
+    def after_tick(self, time: int) -> None:
+        """Engine hook: verify the continuous invariants at tick ``time``."""
+        self._tick_counter += 1
+        if self._tick_counter % self.check_every:
+            return
+        self.checks_run += 1
+        agents = self._agents
+
+        homes: Dict[int, int] = {}
+        settled_now = 0
+        for agent in agents.values():
+            if agent.settled:
+                settled_now += 1
+                if agent.home is None:
+                    self._record(time, "settled_consistency",
+                                 f"agent {agent.agent_id} is settled without a home")
+                elif agent.home in homes:
+                    self._record(
+                        time, "unique_settlement",
+                        f"agents {homes[agent.home]} and {agent.agent_id} both "
+                        f"claim home node {agent.home}",
+                    )
+                else:
+                    homes[agent.home] = agent.agent_id
+            if bool(agent.memory.read("settled")) != agent.settled:
+                self._record(
+                    time, "settled_consistency",
+                    f"agent {agent.agent_id}: settled attribute "
+                    f"{agent.settled} != persisted bit {agent.memory.read('settled')}",
+                )
+
+        unsettles_now = sum(a.unsettle_count for a in agents.values())
+        sanctioned = unsettles_now - self._prev_unsettles
+        drop = self._prev_settled - settled_now
+        if drop > sanctioned:
+            self._record(
+                time, "monotone_settled",
+                f"settled count fell {self._prev_settled} -> {settled_now} with only "
+                f"{sanctioned} sanctioned unsettle(s) since the last check",
+            )
+        self._prev_settled = settled_now
+        self._prev_unsettles = unsettles_now
+
+        graph = self._graph
+        if graph is not None and graph.churn_count != self._seen_churn:
+            self._seen_churn = graph.churn_count
+            try:
+                graph.validate()
+            except AssertionError as exc:
+                self._record(time, "port_bijection", f"after churn: {exc}")
+
+    def finalize(self, time: int) -> None:
+        """Engine hook at :meth:`finalize_metrics`: final dispersion validity."""
+        self.checks_run += 1
+        positions: Dict[int, int] = {}
+        for agent in self._agents.values():
+            if not agent.settled:
+                continue
+            if agent.home is not None and agent.position != agent.home:
+                self._record(
+                    time, "final_dispersion",
+                    f"settled agent {agent.agent_id} finished at node "
+                    f"{agent.position}, not its home {agent.home}",
+                )
+            if agent.position in positions:
+                self._record(
+                    time, "final_dispersion",
+                    f"settled agents {positions[agent.position]} and "
+                    f"{agent.agent_id} both occupy node {agent.position}",
+                )
+            else:
+                positions[agent.position] = agent.agent_id
+        graph = self._graph
+        if graph is not None and graph.churn_count:
+            try:
+                graph.validate()
+            except AssertionError as exc:
+                self._record(time, "port_bijection", f"at finalization: {exc}")
+
+    # ---------------------------------------------------------------- reports
+    def _record(self, time: int, name: str, detail: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(InvariantViolation(time, name, detail))
+        if self.strict:
+            raise InvariantError(f"[t={time}] {name}: {detail}")
+
+    def metrics_extra(self) -> Dict[str, float]:
+        """Counters folded into :class:`~repro.sim.metrics.RunMetrics` extras."""
+        return {
+            "invariant_violations": float(self.violation_count),
+            "invariant_checks": float(self.checks_run),
+        }
+
+    def summary(self) -> str:
+        """One line for logs: total violations and the first few details."""
+        if not self.violation_count:
+            return f"invariants ok ({self.checks_run} checks)"
+        head = "; ".join(
+            f"[t={v.time}] {v.name}: {v.detail}" for v in self.violations[:3]
+        )
+        return f"{self.violation_count} invariant violation(s): {head}"

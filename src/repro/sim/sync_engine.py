@@ -19,6 +19,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
+from repro.sim import instrumentation
+from repro.sim.faults import FaultInjector
+from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import RunMetrics
 
 __all__ = ["SyncEngine"]
@@ -36,6 +39,12 @@ class SyncEngine:
     max_rounds:
         Safety cap; exceeding it raises ``RuntimeError`` (used by tests to turn
         non-termination bugs into failures instead of hangs).
+    fault_injector, invariant_checker:
+        Optional fault model and run-time safety checks (see
+        :mod:`repro.sim.faults` / :mod:`repro.sim.invariants`).  When omitted,
+        both are resolved from the ambient instrumentation context
+        (:mod:`repro.sim.instrumentation`), which is how the experiment runner
+        instruments engines that algorithm drivers construct internally.
     """
 
     def __init__(
@@ -43,6 +52,8 @@ class SyncEngine:
         graph: PortLabeledGraph,
         agents: Iterable[Agent],
         max_rounds: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        invariant_checker: Optional[InvariantChecker] = None,
     ) -> None:
         self.graph = graph
         self.agents: Dict[int, Agent] = {}
@@ -59,6 +70,15 @@ class SyncEngine:
         self.metrics = RunMetrics()
         self._moves_per_agent: Dict[int, int] = {}
         self.max_rounds = max_rounds
+        config = instrumentation.current()
+        if fault_injector is None and config is not None:
+            fault_injector = config.make_injector(sorted(self.agents))
+        if invariant_checker is None and config is not None:
+            invariant_checker = config.make_checker(graph, self.agents)
+        elif invariant_checker is not None:
+            invariant_checker.attach(graph, self.agents)
+        self.fault_injector = fault_injector
+        self.invariant_checker = invariant_checker
 
     # ----------------------------------------------------------------- round
     @property
@@ -80,6 +100,11 @@ class SyncEngine:
                 f"exceeded max_rounds={self.max_rounds}; "
                 "the algorithm is probably not terminating"
             )
+        injector = self.fault_injector
+        if injector is not None:
+            injector.begin_tick(self.metrics.rounds, self)
+            if moves:
+                moves = injector.filter_moves(moves, self.metrics.rounds)
         if moves:
             edge = self.graph.move
             occupancy = self._occupancy
@@ -107,6 +132,8 @@ class SyncEngine:
             self.metrics.total_moves += len(planned)
             self.metrics.max_moves_per_agent = max_moves
         self.metrics.rounds += 1
+        if self.invariant_checker is not None:
+            self.invariant_checker.after_tick(self.metrics.rounds)
 
     def idle_rounds(self, count: int) -> None:
         """Advance ``count`` rounds in which nobody the caller controls moves.
@@ -139,6 +166,14 @@ class SyncEngine:
         return {a.agent_id: a.position for a in self.agents.values()}
 
     def finalize_metrics(self) -> RunMetrics:
-        """Fold per-agent memory peaks into the run metrics and return them."""
+        """Fold per-agent memory peaks (and any fault/invariant counters) into
+        the run metrics and return them."""
         self.metrics.record_memory(self.agents.values())
+        if self.invariant_checker is not None:
+            self.invariant_checker.finalize(self.metrics.rounds)
+            for name, value in self.invariant_checker.metrics_extra().items():
+                self.metrics.set_extra(name, value)
+        if self.fault_injector is not None:
+            for name, value in self.fault_injector.metrics_extra().items():
+                self.metrics.set_extra(name, value)
         return self.metrics

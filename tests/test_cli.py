@@ -97,3 +97,127 @@ def test_list_names_every_algorithm(capsys):
     out = capsys.readouterr().out
     for name in algorithm_names():
         assert name in out
+
+
+# ------------------------------------------------------------- error paths
+def test_unknown_algorithm_exits_nonzero_with_message(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--algorithm", "does_not_exist", "--family", "line",
+              "--param", "n=8", "--k", "4"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_unknown_graph_family_exits_nonzero_with_message(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--algorithm", "rooted_sync", "--family", "klein_bottle",
+              "--param", "n=8", "--k", "4"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_unknown_adversary_exits_nonzero_with_message(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--algorithm", "rooted_async", "--family", "line",
+              "--param", "n=8", "--k", "4", "--adversary", "byzantine"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("spec", ["crash", "crash:2.0", "bogus:0.1", "freeze:0.1:0"])
+def test_malformed_faults_spec_exits_two_with_clear_message(spec, capsys):
+    code = main(["run", "--algorithm", "rooted_sync", "--family", "line",
+                 "--param", "n=8", "--k", "4", "--faults", spec])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "fault" in err
+
+
+def test_malformed_sweep_faults_exits_two(tmp_path, capsys):
+    code = main(["sweep", "--smoke", "--faults", "crash:nope",
+                 "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "not a number" in capsys.readouterr().err
+
+
+def test_empty_sweep_grid_exits_two_with_clear_message(tmp_path, capsys):
+    spec = {"name": "empty", "algorithms": ["rooted_sync"], "scenarios": []}
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    code = main(["sweep", "--spec", str(spec_path), "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "empty" in capsys.readouterr().err
+
+
+def test_algorithm_filter_to_empty_grid_exits_two(tmp_path, capsys):
+    spec = {
+        "name": "mini",
+        "algorithms": ["rooted_sync"],
+        "graphs": [{"family": "line", "params": {"n": 8}}],
+        "ks": [4],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    code = main(["sweep", "--spec", str(spec_path), "--algorithms", "general_sync",
+                 "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "empty" in capsys.readouterr().err
+
+
+def test_unknown_algorithm_filter_exits_two(tmp_path, capsys):
+    code = main(["sweep", "--smoke", "--algorithms", "not_an_algorithm",
+                 "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
+def test_unreadable_spec_file_exits_two(tmp_path, capsys):
+    missing = tmp_path / "missing.json"
+    code = main(["sweep", "--spec", str(missing), "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ------------------------------------------------------ fault/invariant flags
+def test_run_with_invariants_reports_zero_violations(capsys):
+    code = main(["run", "--algorithm", "rooted_sync", "--family", "line",
+                 "--param", "n=12", "--k", "6", "--check-invariants"])
+    assert code == 0
+    assert "invariant_violations=0" in capsys.readouterr().out
+
+
+def test_run_json_record_carries_fault_fields(capsys):
+    code = main(["run", "--algorithm", "naive_dfs", "--family", "complete",
+                 "--param", "n=8", "--k", "6", "--faults", "freeze:0.9:5",
+                 "--check-invariants", "--json"])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["fault_events"] is not None
+    assert record["invariant_violations"] == 0
+    assert record["scenario"]["faults"] == {"freeze": 0.9, "freeze_duration": 5}
+
+
+def test_sweep_crosses_grid_with_fault_profiles(tmp_path, capsys):
+    spec = {
+        "name": "fault-grid",
+        "algorithms": ["rooted_sync", "naive_dfs"],
+        "graphs": [{"family": "line", "params": {"n": 10}}],
+        "ks": [6],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    out_path = tmp_path / "faults.json"
+    csv_path = tmp_path / "faults.csv"
+    code = main(["sweep", "--spec", str(spec_path), "--faults", "none",
+                 "--faults", "freeze:0.8:20", "--check-invariants",
+                 "--out", str(out_path), "--csv", str(csv_path), "--quiet"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault & invariant summary" in out
+    payload = json.loads(out_path.read_text())
+    assert len(payload["records"]) == 4  # 2 algorithms x 1 scenario x 2 profiles
+    profiles = {json.dumps(r["scenario"]["faults"], sort_keys=True) for r in payload["records"]}
+    assert len(profiles) == 2
+    assert all(r["invariant_violations"] == 0 for r in payload["records"])
+    header = csv_path.read_text().splitlines()[0]
+    assert "fault_events" in header and "invariant_violations" in header

@@ -283,3 +283,84 @@ def test_run_record_round_trip():
         "rooted_sync", ScenarioSpec(family="line", params={"n": 10}, k=5)
     )
     assert RunRecord.from_dict(json.loads(json.dumps(record.to_dict()))).to_dict() == record.to_dict()
+
+
+def test_sweep_with_profiles_crosses_every_scenario():
+    base = SweepSpec(
+        name="profiles",
+        algorithms=["rooted_sync", "naive_dfs"],
+        scenarios=[
+            ScenarioSpec(family="line", params={"n": 10}, k=5),
+            ScenarioSpec(family="complete", params={"n": 8}, k=6),
+        ],
+    )
+    crossed = base.with_profiles([{}, {"crash": 0.3}], check_invariants=True)
+    assert len(crossed.scenarios) == 4
+    assert [s.faults for s in crossed.scenarios] == [{}, {}, {"crash": 0.3}, {"crash": 0.3}]
+    assert all(s.check_invariants for s in crossed.scenarios)
+    # Profiles share the world: the underlying base scenarios are unchanged.
+    assert {s.base_key() for s in crossed.scenarios} == {s.base_key() for s in base.scenarios}
+
+
+def test_with_profiles_none_preserves_per_scenario_invariant_setting():
+    base = SweepSpec(
+        name="keep",
+        algorithms=["rooted_sync"],
+        scenarios=[
+            ScenarioSpec(family="line", params={"n": 10}, k=5, check_invariants=True),
+            ScenarioSpec(family="line", params={"n": 12}, k=5),
+        ],
+    )
+    crossed = base.with_profiles([{}, {"crash": 0.3}])  # no override
+    assert [s.check_invariants for s in crossed.scenarios] == [True, False, True, False]
+
+
+def test_sweep_filter_algorithms_keeps_order_and_rejects_unknown():
+    base = SweepSpec(
+        name="filter",
+        algorithms=["rooted_sync", "naive_dfs", "general_sync"],
+        scenarios=[ScenarioSpec(family="line", params={"n": 10}, k=5)],
+    )
+    assert base.filter_algorithms(["general_sync", "rooted_sync"]).algorithms == [
+        "rooted_sync",
+        "general_sync",
+    ]
+    with pytest.raises(KeyError):
+        base.filter_algorithms(["not_registered"])
+
+
+def test_fault_summary_aggregates_per_profile():
+    from repro.runner import fault_summary
+
+    sweep = SweepSpec(
+        name="summary",
+        algorithms=["rooted_sync"],
+        scenarios=[ScenarioSpec(family="line", params={"n": 12}, k=6)],
+    ).with_profiles([{}, {"freeze": 0.9, "freeze_duration": 15}], check_invariants=True)
+    records = run_sweep(sweep)
+    table = fault_summary(records)
+    assert table is not None
+    rendered = table.render()
+    assert "none" in rendered and "freeze:0.9" in rendered
+    # The fault-free baseline row appears even when only the faulty profile is
+    # instrumented (e.g. `--faults none --faults crash:...` without
+    # --check-invariants leaves 'none' records uninstrumented).
+    half_instrumented = run_sweep(
+        SweepSpec(
+            name="half",
+            algorithms=["rooted_sync"],
+            scenarios=[ScenarioSpec(family="line", params={"n": 12}, k=6)],
+        ).with_profiles([{}, {"freeze": 0.9, "freeze_duration": 15}])
+    )
+    half_table = fault_summary(half_instrumented)
+    assert half_table is not None
+    assert any(row[1] == "none" for row in half_table.rows)
+    # Plain records produce no summary at all.
+    plain = run_sweep(
+        SweepSpec(
+            name="plain",
+            algorithms=["rooted_sync"],
+            scenarios=[ScenarioSpec(family="line", params={"n": 12}, k=6)],
+        )
+    )
+    assert fault_summary(plain) is None
