@@ -16,11 +16,16 @@ implements.  The pieces compose bottom-up:
 * :mod:`repro.runner.artifacts` -- canonical (byte-reproducible) JSON plus CSV
   views and Table-1 style report tables;
 * :mod:`repro.runner.cli` -- the ``repro`` / ``python -m repro`` entry point.
+
+:mod:`repro.store` layers a persistent, content-addressed experiment store
+under the sweep executor (``run_sweep(..., store=...)``): cached records skip
+execution entirely while preserving byte-identical artifacts.
 """
 
 from repro.runner.registry import (
     AlgorithmSpec,
     algorithm_names,
+    code_versions,
     core_algorithm_names,
     get_algorithm,
     list_algorithms,
@@ -41,8 +46,11 @@ from repro.runner.scenario import (
 from repro.runner.execute import RunRecord, run_scenario
 from repro.runner.sweep import SweepSpec, collect_series, run_sweep, smoke_sweep
 from repro.runner.artifacts import (
+    ArtifactError,
+    canonical_record_json,
     fault_summary,
     load_json,
+    load_payload,
     records_to_results,
     report_tables,
     write_csv,
@@ -52,6 +60,7 @@ from repro.runner.artifacts import (
 __all__ = [
     "AlgorithmSpec",
     "algorithm_names",
+    "code_versions",
     "core_algorithm_names",
     "get_algorithm",
     "list_algorithms",
@@ -72,8 +81,11 @@ __all__ = [
     "collect_series",
     "run_sweep",
     "smoke_sweep",
+    "ArtifactError",
+    "canonical_record_json",
     "fault_summary",
     "load_json",
+    "load_payload",
     "records_to_results",
     "report_tables",
     "write_csv",

@@ -20,13 +20,62 @@ from repro.runner.registry import get_algorithm
 from repro.runner.sweep import SweepSpec
 
 __all__ = [
+    "ARTIFACT_FORMAT",
+    "ArtifactError",
+    "canonical_record_json",
+    "record_from_dict",
     "write_json",
     "load_json",
+    "load_payload",
     "write_csv",
     "records_to_results",
     "report_tables",
     "fault_summary",
 ]
+
+#: The JSON artifact's schema/version envelope tag.  Bump only with a loader
+#: that still reads every older tag.
+ARTIFACT_FORMAT = "repro-sweep-v1"
+
+
+class ArtifactError(ValueError):
+    """A file is not a readable sweep artifact (foreign, truncated, or malformed).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` error
+    paths (the CLI's clean-message handler in particular) keep working.
+    """
+
+
+def canonical_record_json(record: RunRecord) -> str:
+    """One record as canonical JSON -- the byte representation shared by the
+    artifact writer and the experiment store (:mod:`repro.store`).
+
+    Canonical means sorted keys and fixed separators, so the same record always
+    serializes to the same bytes and a store round-trip cannot perturb the
+    artifact bytes a sweep would have produced cold.
+    """
+    return json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def record_from_dict(data: Any, source: str = "artifact") -> RunRecord:
+    """Validate one raw record dict and build the :class:`RunRecord`.
+
+    Raises :class:`ArtifactError` (not ``KeyError``/``TypeError``) on foreign
+    or truncated payloads, naming the offending source and field set.
+    """
+    if not isinstance(data, dict):
+        raise ArtifactError(f"{source}: record entry is {type(data).__name__}, not an object")
+    known = set(RunRecord.__dataclass_fields__)
+    unknown = set(data) - known
+    if unknown:
+        raise ArtifactError(f"{source}: unknown record fields {sorted(unknown)}")
+    if "algorithm" not in data or "scenario" not in data:
+        missing = sorted({"algorithm", "scenario"} - set(data))
+        raise ArtifactError(f"{source}: record missing required fields {missing}")
+    try:
+        return RunRecord.from_dict(data)
+    except TypeError as exc:
+        raise ArtifactError(f"{source}: malformed record: {exc}") from None
 
 #: Flat CSV column order (scenario fields get a ``scenario_`` prefix).
 _CSV_SCENARIO_FIELDS = (
@@ -71,7 +120,7 @@ def write_json(
 ) -> str:
     """Write the canonical JSON artifact and return its path."""
     payload: Dict[str, Any] = {
-        "format": "repro-sweep-v1",
+        "format": ARTIFACT_FORMAT,
         "sweep": sweep.to_dict() if sweep is not None else None,
         "records": [r.to_dict() for r in records],
     }
@@ -83,13 +132,43 @@ def write_json(
     return path
 
 
-def load_json(path: str) -> List[RunRecord]:
-    """Load the records of a JSON artifact."""
+def load_payload(path: str) -> Dict[str, Any]:
+    """Load and validate a JSON artifact's full payload (envelope + records).
+
+    Every failure mode of a foreign or truncated file -- invalid JSON, a
+    non-object top level, a wrong/missing ``format`` tag, a missing or
+    non-list ``records`` entry, malformed record entries -- raises
+    :class:`ArtifactError` with the path in the message, never a raw
+    ``KeyError`` or ``JSONDecodeError``.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    if payload.get("format") != "repro-sweep-v1":
-        raise ValueError(f"{path} is not a repro sweep artifact")
-    return [RunRecord.from_dict(r) for r in payload["records"]]
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"{path} is not valid JSON (truncated?): {exc}") from None
+        except UnicodeDecodeError:
+            raise ArtifactError(
+                f"{path} is a binary file, not a JSON artifact -- if it is an "
+                "experiment store, query it with `repro db query` first"
+            ) from None
+    if not isinstance(payload, dict):
+        raise ArtifactError(f"{path}: top level is {type(payload).__name__}, not an object")
+    fmt = payload.get("format")
+    if fmt != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"{path} is not a repro sweep artifact "
+            f"(format={fmt!r}, expected {ARTIFACT_FORMAT!r})"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise ArtifactError(f"{path}: 'records' is missing or not a list")
+    return payload
+
+
+def load_json(path: str) -> List[RunRecord]:
+    """Load the records of a JSON artifact (see :func:`load_payload`)."""
+    payload = load_payload(path)
+    return [record_from_dict(r, source=path) for r in payload["records"]]
 
 
 def write_csv(records: Sequence[RunRecord], path: str) -> str:

@@ -1,12 +1,18 @@
 """``python -m repro`` / ``repro``: the experiment-runner command line.
 
-Three subcommands mirror the workflow the benchmarks automate:
+Four subcommand families mirror the workflow the benchmarks automate:
 
 * ``repro run``    -- one algorithm on one scenario, summary on stdout;
 * ``repro sweep``  -- a scenario grid (from a JSON spec file or the built-in
   ``--smoke`` grid) fanned out over worker processes, written as JSON/CSV
-  artifacts;
-* ``repro report`` -- Table-1 style comparison tables from a sweep artifact.
+  artifacts; with ``--store`` the sweep runs against a persistent experiment
+  store (cache hits skip execution, finished records are committed one by
+  one, and ``--resume`` completes an interrupted sweep);
+* ``repro report`` -- Table-1 style comparison tables from a sweep artifact;
+* ``repro db``     -- the experiment-store toolbox: ``query`` filtered
+  records into artifact files, ``diff`` two snapshots (stores or artifacts)
+  for metric regressions, ``import`` legacy artifacts, ``gc`` stale
+  code-version records, ``stats`` the store's shape.
 
 ``--faults`` / ``--check-invariants`` attach the fault-model and
 invariant-checking subsystem (:mod:`repro.sim.faults` /
@@ -28,7 +34,13 @@ Examples
     repro sweep --smoke --algorithms paper --check-invariants \\
         --faults none --faults crash:0.1,freeze:0.1:60 --out artifacts/faults.json
     repro sweep --spec myspec.json --out artifacts/mysweep.json --csv artifacts/mysweep.csv
+    repro sweep --smoke --store artifacts/runs.sqlite --progress --out artifacts/smoke.json
+    repro sweep --smoke --store artifacts/runs.sqlite --resume
     repro report artifacts/smoke.json
+    repro db query artifacts/runs.sqlite --algorithm rooted_sync --out artifacts/q.json
+    repro db diff artifacts/old.json artifacts/runs.sqlite
+    repro db import artifacts/runs.sqlite artifacts/legacy-sweep.json
+    repro db gc artifacts/runs.sqlite
 """
 
 from __future__ import annotations
@@ -36,6 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.runner import artifacts as artifacts_mod
@@ -148,6 +161,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of the sweep's algorithms, or 'paper' for "
         "the paper's own algorithms only",
     )
+    sweep_p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent experiment store (SQLite): cached records skip "
+        "execution, new records are committed as they finish",
+    )
+    sweep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="make resuming an interrupted sweep explicit; the cache semantics "
+        "are those of --store alone (missing records execute, stored ones "
+        "are served), this flag just validates that a --store was given",
+    )
+    sweep_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="one-line progress on stderr: records done/total, cache hits, ETA",
+    )
 
     report_p = sub.add_parser("report", help="print comparison tables from an artifact")
     report_p.add_argument("artifact", help="path to a sweep JSON artifact")
@@ -157,6 +189,57 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["time", "rounds", "epochs", "activations", "total_moves", "peak_memory_bits"],
         help="record field shown in the table cells",
     )
+
+    db_p = sub.add_parser("db", help="query and maintain a persistent experiment store")
+    db_sub = db_p.add_subparsers(dest="db_command", required=True)
+
+    query_p = db_sub.add_parser(
+        "query", help="filter store records into artifact files (or a summary)"
+    )
+    query_p.add_argument("store", help="path to an experiment store")
+    query_p.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated algorithm names, or 'paper'",
+    )
+    query_p.add_argument("--family", default=None, choices=sorted(GRAPH_FAMILIES))
+    query_p.add_argument("--k", type=int, default=None)
+    query_p.add_argument("--seed", type=int, default=None)
+    query_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="select one fault profile ('none' for fault-free records only)",
+    )
+    query_p.add_argument(
+        "--status", default=None, choices=["ok", "unsupported", "error"]
+    )
+    query_p.add_argument(
+        "--out", default=None, help="write matches as a sweep JSON artifact"
+    )
+    query_p.add_argument("--csv", default=None, help="also write a CSV view")
+
+    diff_p = db_sub.add_parser(
+        "diff", help="compare run metrics between two snapshots (store or artifact)"
+    )
+    diff_p.add_argument("old", help="baseline snapshot: store or JSON artifact")
+    diff_p.add_argument("new", help="candidate snapshot: store or JSON artifact")
+
+    gc_p = db_sub.add_parser(
+        "gc", help="drop records whose algorithm code-version tag is stale"
+    )
+    gc_p.add_argument("store", help="path to an experiment store")
+    gc_p.add_argument("--dry-run", action="store_true", help="report, don't delete")
+
+    import_p = db_sub.add_parser(
+        "import", help="ingest sweep JSON artifacts into a store"
+    )
+    import_p.add_argument("store", help="path to an experiment store (created if missing)")
+    import_p.add_argument("artifacts", nargs="+", help="sweep JSON artifact paths")
+
+    stats_p = db_sub.add_parser("stats", help="summarize a store's contents")
+    stats_p.add_argument("store", help="path to an experiment store")
 
     sub.add_parser("list", help="list registered algorithms")
     return parser
@@ -215,44 +298,135 @@ def _load_sweep_spec(path: str) -> SweepSpec:
     )
 
 
+def _parse_algorithm_names(text: str) -> List[str]:
+    """``'paper'`` or a comma-separated list of registry names (validated)."""
+    if text.strip() == "paper":
+        return core_algorithm_names()
+    names = [n.strip() for n in text.split(",") if n.strip()]
+    if not names:
+        raise ValueError(f"no algorithm names in {text!r}")
+    for name in names:
+        get_algorithm(name)  # fail fast with the registry's message
+    return names
+
+
+class _ProgressLine:
+    """The ``--progress`` stderr line: done/total, cache hits, ETA.
+
+    On a TTY the line redraws in place (carriage return); on a pipe each
+    update is its own line so logs stay readable.  The ETA extrapolates from
+    *executed* jobs only -- cache hits are effectively free, and counting them
+    would make the estimate collapse toward zero on warm sweeps.
+    """
+
+    def __init__(self, stream: Any = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._start = time.monotonic()
+        self._hits = 0
+        self._executed = 0
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._last_width = 0
+
+    def __call__(self, done: int, total: int, record: Dict[str, Any], cached: bool = False) -> None:
+        if cached:
+            self._hits += 1
+        else:
+            self._executed += 1
+        remaining = total - done
+        if self._executed:
+            eta = remaining * (time.monotonic() - self._start) / self._executed
+            eta_text = f"{eta:.1f}s"
+        else:
+            eta_text = "0.0s" if remaining == 0 else "?"
+        line = f"[{done}/{total}] hits={self._hits} eta={eta_text}"
+        if self._tty:
+            pad = " " * max(0, self._last_width - len(line))
+            self._stream.write(f"\r{line}{pad}")
+            self._last_width = len(line)
+        else:
+            self._stream.write(line + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._tty:
+            self._stream.write("\n")
+            self._stream.flush()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        raise ValueError("--resume needs --store: the store is what it resumes from")
     sweep = smoke_sweep() if args.smoke else _load_sweep_spec(args.spec)
     if args.algorithms:
-        names = (
-            core_algorithm_names()
-            if args.algorithms.strip() == "paper"
-            else [n.strip() for n in args.algorithms.split(",") if n.strip()]
-        )
-        sweep = sweep.filter_algorithms(names)
+        sweep = sweep.filter_algorithms(_parse_algorithm_names(args.algorithms))
     profiles = [parse_faults(text) for text in args.faults]
-    if profiles or args.check_invariants:
+    if profiles:
         # --check-invariants switches checking on everywhere; without it each
         # scenario keeps whatever its spec file configured.
         sweep = sweep.with_profiles(
-            profiles or [{}],
-            check_invariants=True if args.check_invariants else None,
+            profiles, check_invariants=True if args.check_invariants else None
         )
+    elif args.check_invariants:
+        # No --faults given: turn checking on without clobbering fault
+        # profiles a spec file configured per scenario.
+        sweep = sweep.with_invariants(True)
     if not sweep.jobs():
         raise ValueError(
             f"sweep grid {sweep.name!r} is empty: no compatible "
             "(algorithm, scenario) pairs -- check the algorithms and scenarios lists"
         )
-    progress = None
+    per_job = None
     if not args.quiet:
-        def progress(done: int, total: int, record: Dict[str, Any]) -> None:
+        def per_job(done: int, total: int, record: Dict[str, Any], cached: bool) -> None:
             scenario = record["scenario"]
             status = record["status"]
             tag = "" if status == "ok" else f" [{status}]"
+            if cached:
+                tag += " [cached]"
             print(
                 f"[{done}/{total}] {record['algorithm']:13s} "
                 f"{scenario['family']}/k={scenario['k']}"
                 f" -> time={record['time']}{tag}",
                 flush=True,
             )
-    records = run_sweep(sweep, workers=args.workers, progress=progress)
+    progress_line = _ProgressLine() if args.progress else None
+
+    def on_record(done: int, total: int, record: Dict[str, Any], cached: bool = False) -> None:
+        if per_job is not None:
+            per_job(done, total, record, cached)
+        if progress_line is not None:
+            progress_line(done, total, record, cached)
+
+    executed: Optional[int] = None
+    hits = 0
+    try:
+        if args.store:
+            from repro.store import RunStore, execute_plan, plan_sweep
+
+            with RunStore(args.store) as store:
+                plan = plan_sweep(sweep, store)
+                hits, executed = plan.hits, plan.total - plan.hits
+                print(
+                    f"store {args.store}: {hits}/{plan.total} cache hit(s), "
+                    f"executing {executed} job(s)",
+                    flush=True,
+                )
+                records = execute_plan(
+                    plan, store=store, workers=args.workers, progress=on_record
+                )
+        else:
+            records = run_sweep(sweep, workers=args.workers, progress=on_record)
+    finally:
+        if progress_line is not None:
+            progress_line.close()
     out = args.out or f"artifacts/{sweep.name}.json"
     artifacts_mod.write_json(records, out, sweep=sweep)
     print(f"wrote {len(records)} records to {out}")
+    if executed is not None:
+        if executed == 0:
+            print(f"all {len(records)} records served from cache (0 jobs executed)")
+        else:
+            print(f"cache: {hits} hit(s), {executed} executed")
     if args.csv:
         artifacts_mod.write_csv(records, args.csv)
         print(f"wrote CSV view to {args.csv}")
@@ -315,6 +489,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_db(args: argparse.Namespace) -> int:
+    from repro.store import RunStore, diff_paths
+
+    if args.db_command == "query":
+        with RunStore(args.store, create=False) as store:
+            records = store.query(
+                algorithms=_parse_algorithm_names(args.algorithm) if args.algorithm else None,
+                family=args.family,
+                k=args.k,
+                seed=args.seed,
+                faults=parse_faults(args.faults) if args.faults is not None else None,
+                status=args.status,
+            )
+        if args.out:
+            artifacts_mod.write_json(records, args.out)
+            print(f"wrote {len(records)} records to {args.out}")
+        if args.csv:
+            artifacts_mod.write_csv(records, args.csv)
+            print(f"wrote CSV view to {args.csv}")
+        if not args.out and not args.csv:
+            for record in records:
+                scenario = record.scenario
+                tag = "" if record.status == "ok" else f" [{record.status}]"
+                print(
+                    f"{record.algorithm:14s} {scenario['family']}/k={scenario['k']}"
+                    f"/seed={scenario['seed']} -> time={record.time}{tag}"
+                )
+            print(f"{len(records)} record(s) match")
+        return 0
+
+    if args.db_command == "diff":
+        result = diff_paths(args.old, args.new)
+        if result.only_old:
+            print(f"{len(result.only_old)} run(s) only in {args.old}")
+        if result.only_new:
+            print(f"{len(result.only_new)} run(s) only in {args.new}")
+        if result.is_clean:
+            print(f"no metric changes across {result.common} common run(s)")
+            return 0
+        for change in result.changed:
+            print(change.render())
+        print(
+            f"{len(result.changed)} metric change(s) across "
+            f"{result.common} common run(s)"
+        )
+        return 1
+
+    if args.db_command == "gc":
+        with RunStore(args.store, create=False) as store:
+            stats = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{verb} {stats.total} record(s) "
+            f"({stats.stale_version} stale code-version, "
+            f"{stats.unregistered} unregistered algorithm)"
+        )
+        return 0
+
+    if args.db_command == "import":
+        with RunStore(args.store) as store:
+            for path in args.artifacts:
+                added, skipped = store.import_records(artifacts_mod.load_json(path))
+                print(f"{path}: imported {added} record(s), skipped {skipped} already stored")
+        return 0
+
+    # stats
+    with RunStore(args.store, create=False) as store:
+        stats = store.stats()
+    print(f"{stats['path']}: {stats['records']} record(s)")
+    for algorithm, versions in stats["per_algorithm"].items():
+        for version, count in versions.items():
+            print(f"  {algorithm:14s} v{version}: {count}")
+    print(f"collectable by gc: {stats['collectable']}")
+    return 0
+
+
 def _cmd_list() -> int:
     for spec in list_algorithms():
         flags = "" if spec.guaranteed else " (heuristic)"
@@ -334,10 +584,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "db":
+            return _cmd_db(args)
         return _cmd_list()
     except BrokenPipeError:
         # stdout piped into `head` etc.; exiting quietly is the convention.
         return 0
+    except KeyboardInterrupt:
+        # Records finished before the interrupt are already committed when a
+        # --store is attached, so point at the resume path instead of dumping
+        # a traceback.
+        message = "interrupted"
+        if getattr(args, "store", None):
+            message += f" -- rerun with --store {args.store} --resume to finish"
+        print(message, file=sys.stderr)
+        return 130
     except (
         argparse.ArgumentTypeError,
         ValueError,

@@ -27,6 +27,7 @@ __all__ = [
     "list_algorithms",
     "algorithm_names",
     "core_algorithm_names",
+    "code_versions",
     "supports",
 ]
 
@@ -64,6 +65,11 @@ class AlgorithmSpec:
         False for heuristics (e.g. the random-walk baseline) whose runs may
         legitimately end with ``dispersed=False``; sweeps report rather than
         fail those.
+    code_version:
+        Opaque tag naming the current implementation of the algorithm.  The
+        experiment store (:mod:`repro.store`) mixes it into every run
+        fingerprint, so bumping the tag when an algorithm's behaviour changes
+        invalidates exactly that algorithm's cached records -- nothing else.
     """
 
     name: str
@@ -74,6 +80,7 @@ class AlgorithmSpec:
     adapter: Adapter
     entry_point: str = ""
     guaranteed: bool = True
+    code_version: str = "1"
 
     @property
     def time_unit(self) -> str:
@@ -133,6 +140,11 @@ def algorithm_names() -> List[str]:
 def core_algorithm_names() -> List[str]:
     """Sorted keys of the paper's own algorithms (the fault-sweep CI targets)."""
     return [name for name in sorted(_REGISTRY) if _REGISTRY[name].is_paper]
+
+
+def code_versions() -> Dict[str, str]:
+    """Current ``{algorithm name: code-version tag}`` map (for store GC)."""
+    return {name: _REGISTRY[name].code_version for name in sorted(_REGISTRY)}
 
 
 def supports(spec: AlgorithmSpec, placements: Mapping[int, int]) -> bool:

@@ -135,12 +135,14 @@ class ScenarioSpec:
             raise ValueError("k must be >= 1")
         if self.placement == "split" and self.placement_parts < 2:
             raise ValueError("split placement needs placement_parts >= 2")
-        FaultSpec.from_dict(self.faults)  # raises on unknown/invalid fault fields
         # Copy the mappings so a spec cannot be mutated through the caller's
-        # dicts after construction.
+        # dicts after construction.  The fault profile additionally round-trips
+        # through FaultSpec (which also validates it): profiles that spell out
+        # default fields or use int probabilities must key/fingerprint/seed
+        # identically to their canonical minimal form.
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "adversary_params", dict(self.adversary_params))
-        object.__setattr__(self, "faults", dict(self.faults))
+        object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults).to_dict())
 
     def __hash__(self) -> int:
         # The dataclass-generated hash would choke on the dict fields; the
@@ -192,6 +194,16 @@ class ScenarioSpec:
     def base_key(self) -> str:
         """Canonical JSON of :meth:`base_dict` (the seed-derivation key)."""
         return json.dumps(self.base_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Short stable hex digest of :meth:`key` (a scenario identity tag).
+
+        Two specs share a digest exactly when they are the same scenario under
+        the same fault/invariant settings; the experiment store indexes rows by
+        it so queries and diffs can match scenarios without comparing full
+        canonical JSON strings.
+        """
+        return hashlib.sha256(self.key().encode("utf-8")).hexdigest()[:16]
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """The same scenario under a different master seed."""

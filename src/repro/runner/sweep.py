@@ -108,6 +108,18 @@ class SweepSpec:
         ]
         return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
 
+    def with_invariants(self, check_invariants: bool = True) -> "SweepSpec":
+        """Toggle invariant checking everywhere *without* touching fault profiles.
+
+        The companion to :meth:`with_profiles` for ``--check-invariants`` alone:
+        a spec file's per-scenario fault profiles survive unchanged.
+        """
+        scenarios = [
+            scenario.with_faults(scenario.faults, check_invariants=check_invariants)
+            for scenario in self.scenarios
+        ]
+        return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
+
     def filter_algorithms(self, names: Sequence[str]) -> "SweepSpec":
         """Restrict the sweep to a subset of its algorithms (unknown names raise)."""
         for name in names:
@@ -142,6 +154,7 @@ def run_sweep(
     sweep: SweepSpec,
     workers: int = 1,
     progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+    store: Optional[Any] = None,
 ) -> List[RunRecord]:
     """Execute every job of the sweep and return records in job order.
 
@@ -152,7 +165,22 @@ def run_sweep(
 
     ``progress``, when given, is called as ``progress(done, total, record)``
     after every job.
+
+    ``store``, when given, is a :class:`repro.store.RunStore`: jobs whose
+    content fingerprint is already stored are served from it without
+    executing, and every newly executed record is written back (its own
+    commit), making interrupted sweeps resumable.  Cache hits flow through
+    ``progress`` like any other record, and the returned records -- hence the
+    artifact bytes -- are identical to a cold run's.
     """
+    if store is not None:
+        from repro.store.cache import run_sweep_cached
+
+        adapter = None
+        if progress is not None:
+            def adapter(done: int, total: int, record: Dict[str, Any], cached: bool) -> None:
+                progress(done, total, record)
+        return run_sweep_cached(sweep, store, workers=workers, progress=adapter)
     jobs = sweep.jobs()
     raw: List[Dict[str, Any]]
     if workers <= 1 or len(jobs) <= 1:

@@ -72,9 +72,17 @@ class FaultSpec:
     horizon: int = 240
 
     def __post_init__(self) -> None:
+        # Coerce to the canonical numeric types first: profiles written as
+        # ints in spec files ({"crash": 1}) must compare -- and serialize --
+        # identically to their float twins, or equal scenarios would get
+        # different fault seeds and store fingerprints.
+        for name in ("crash", "freeze", "churn"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        for name in ("freeze_duration", "horizon"):
+            object.__setattr__(self, name, int(getattr(self, name)))
         for name in ("crash", "freeze", "churn"):
             value = getattr(self, name)
-            if not (0.0 <= float(value) <= 1.0):
+            if not (0.0 <= value <= 1.0):
                 raise ValueError(f"fault probability {name}={value!r} must be in [0, 1]")
         if self.freeze_duration < 1:
             raise ValueError("freeze_duration must be >= 1")

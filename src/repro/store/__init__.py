@@ -1,0 +1,45 @@
+"""Persistent experiment store: content-addressed run cache + query/diff layer.
+
+The runner (:mod:`repro.runner`) makes every run byte-deterministic and
+reproducible from its :class:`~repro.runner.scenario.ScenarioSpec`; this
+package turns that determinism into *incremental* computation.  The pieces:
+
+* :mod:`repro.store.fingerprint` -- a run's content fingerprint: SHA-256 over
+  the scenario's world key, fault profile, invariant flag, algorithm name,
+  and the algorithm's registry code-version tag;
+* :mod:`repro.store.db` -- :class:`RunStore`, a stdlib-``sqlite3`` database
+  mapping fingerprints to canonical record JSON, with SQL-side query filters,
+  legacy-artifact import, and code-version GC;
+* :mod:`repro.store.cache` -- cache-aware sweep planning/execution: serve
+  hits from the store, execute only the misses, write back per record (which
+  is what makes ``repro sweep --resume`` work after an interrupt);
+* :mod:`repro.store.diff` -- cross-snapshot regression diffs between stores
+  and/or JSON artifacts.
+
+A fully cached sweep executes zero jobs and still emits byte-identical
+JSON/CSV artifacts -- the store keeps the runner's core guarantee intact.
+"""
+
+from repro.store.cache import SweepPlan, execute_plan, plan_sweep, run_sweep_cached
+from repro.store.db import GCStats, RunStore, StoreError, is_store_file
+from repro.store.diff import DIFF_FIELDS, DiffResult, FieldChange, diff_paths, diff_records, load_side
+from repro.store.fingerprint import fingerprint_material, run_fingerprint
+
+__all__ = [
+    "SweepPlan",
+    "execute_plan",
+    "plan_sweep",
+    "run_sweep_cached",
+    "GCStats",
+    "RunStore",
+    "StoreError",
+    "is_store_file",
+    "DIFF_FIELDS",
+    "DiffResult",
+    "FieldChange",
+    "diff_paths",
+    "diff_records",
+    "load_side",
+    "fingerprint_material",
+    "run_fingerprint",
+]

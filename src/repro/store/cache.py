@@ -1,0 +1,137 @@
+"""Cache-aware sweep execution: plan against a store, run only the misses.
+
+:func:`plan_sweep` fingerprints every job of a :class:`SweepSpec` and splits
+the deterministic job list into cache hits (records served straight from the
+:class:`~repro.store.db.RunStore`) and pending jobs.  :func:`execute_plan`
+runs the pending jobs -- serially or over a ``multiprocessing`` pool, exactly
+like a cold :func:`~repro.runner.sweep.run_sweep` -- writes each finished
+record back to the store with its own commit (so an interrupt loses at most
+the in-flight job and ``repro sweep --resume`` completes only the remainder),
+and returns *all* records in job order.
+
+Because stored records are the canonical JSON bytes of the records a cold run
+would produce (the runner's byte-determinism), a fully cached sweep emits a
+byte-identical artifact while executing zero jobs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.runner.execute import RunRecord
+from repro.runner.scenario import ScenarioSpec
+from repro.runner.sweep import SweepSpec, _run_job
+from repro.store.db import RunStore
+from repro.store.fingerprint import run_fingerprint
+
+__all__ = ["SweepPlan", "plan_sweep", "execute_plan", "run_sweep_cached"]
+
+#: ``progress(done, total, record_dict, cached)`` -- the store-aware progress
+#: callback (one extra flag over the plain sweep's three-argument form).
+ProgressFn = Callable[[int, int, Dict[str, Any], bool], None]
+
+
+@dataclass
+class SweepPlan:
+    """A sweep's job list split into cache hits and pending executions."""
+
+    sweep: SweepSpec
+    jobs: List[Tuple[str, Dict[str, Any]]]
+    fingerprints: List[str]
+    cached: Dict[int, RunRecord] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def hits(self) -> int:
+        return len(self.cached)
+
+    @property
+    def pending(self) -> List[int]:
+        """Indices of the jobs that still need executing, in job order."""
+        return [i for i in range(len(self.jobs)) if i not in self.cached]
+
+
+def plan_sweep(sweep: SweepSpec, store: RunStore) -> SweepPlan:
+    """Fingerprint every job and look the fingerprints up in the store."""
+    jobs = sweep.jobs()
+    fingerprints = [
+        run_fingerprint(algorithm, ScenarioSpec.from_dict(scenario_dict))
+        for algorithm, scenario_dict in jobs
+    ]
+    found = store.get_many(fingerprints)
+    cached = {
+        index: found[fingerprint]
+        for index, fingerprint in enumerate(fingerprints)
+        if fingerprint in found
+    }
+    return SweepPlan(sweep=sweep, jobs=jobs, fingerprints=fingerprints, cached=cached)
+
+
+def execute_plan(
+    plan: SweepPlan,
+    store: Optional[RunStore] = None,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[RunRecord]:
+    """Run the plan's pending jobs, write them back, return records in job order.
+
+    Cached records flow through ``progress`` too (with ``cached=True``), so a
+    progress line counts every record of the sweep, not just the executed ones.
+    """
+    pending = plan.pending
+    pending_jobs = [plan.jobs[i] for i in pending]
+
+    def finish(index: int, raw: Dict[str, Any]) -> RunRecord:
+        record = RunRecord.from_dict(raw)
+        if store is not None:
+            # Per-record commit: this is what --resume picks up after a kill.
+            store.put(plan.fingerprints[index], record)
+        return record
+
+    records: List[Optional[RunRecord]] = [None] * plan.total
+    done = 0
+
+    def emit(index: int, record: RunRecord, cached: bool) -> None:
+        nonlocal done
+        records[index] = record
+        done += 1
+        if progress is not None:
+            progress(done, plan.total, record.to_dict(), cached)
+
+    if workers <= 1 or len(pending_jobs) <= 1:
+        for index in range(plan.total):
+            if index in plan.cached:
+                emit(index, plan.cached[index], cached=True)
+            else:
+                emit(index, finish(index, _run_job(plan.jobs[index])), cached=False)
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(pending_jobs))) as pool:
+            # imap yields pending results in pending order while workers run
+            # ahead; cached records are emitted as the job-order walk reaches
+            # them, so progress and write-back both follow job order.
+            results_iter = pool.imap(_run_job, pending_jobs, chunksize=1)
+            pending_iter = iter(pending)
+            for index in range(plan.total):
+                if index in plan.cached:
+                    emit(index, plan.cached[index], cached=True)
+                else:
+                    pending_index = next(pending_iter)
+                    assert pending_index == index
+                    emit(index, finish(index, next(results_iter)), cached=False)
+    assert all(record is not None for record in records)
+    return [record for record in records if record is not None]
+
+
+def run_sweep_cached(
+    sweep: SweepSpec,
+    store: RunStore,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[RunRecord]:
+    """Plan + execute in one call (the ``run_sweep(..., store=...)`` backend)."""
+    return execute_plan(plan_sweep(sweep, store), store=store, workers=workers, progress=progress)

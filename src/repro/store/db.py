@@ -1,0 +1,345 @@
+"""``RunStore``: a persistent, content-addressed database of run records.
+
+The store is a single stdlib-``sqlite3`` file mapping run fingerprints
+(:mod:`repro.store.fingerprint`) to the canonical JSON bytes of their
+:class:`~repro.runner.execute.RunRecord`.  Alongside the record it keeps the
+flat columns queries and GC need -- algorithm, family, ``k``, seed, fault
+profile, status, and the code-version tag the fingerprint was minted under --
+so ``repro db query`` filters entirely in SQL.
+
+Soundness rests on the runner's byte-determinism: a fingerprint already
+present in the store *is* the record a fresh execution would produce, byte for
+byte, so cache-served sweeps emit artifacts identical to cold ones.  Writes
+commit per record (``put``) or per batch (``put_many``), which is what makes
+an interrupted sweep resumable: every record completed before the interrupt is
+durably on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.artifacts import canonical_record_json, record_from_dict
+from repro.runner.execute import RunRecord
+from repro.runner.registry import code_versions
+from repro.runner.scenario import ScenarioSpec
+from repro.store.fingerprint import run_fingerprint
+
+__all__ = ["RunStore", "StoreError", "GCStats", "is_store_file", "SQLITE_MAGIC"]
+
+#: First bytes of every SQLite database file (used to tell stores from
+#: JSON artifacts when a CLI argument may be either).
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+_SCHEMA_VERSION = "1"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    fingerprint      TEXT PRIMARY KEY,
+    algorithm        TEXT NOT NULL,
+    family           TEXT NOT NULL,
+    k                INTEGER NOT NULL,
+    seed             INTEGER NOT NULL,
+    faults           TEXT NOT NULL,
+    check_invariants INTEGER NOT NULL,
+    status           TEXT NOT NULL,
+    code_version     TEXT NOT NULL,
+    scenario_digest  TEXT NOT NULL,
+    scenario_key     TEXT NOT NULL,
+    record           TEXT NOT NULL,
+    created_at       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_algorithm ON runs (algorithm);
+CREATE INDEX IF NOT EXISTS idx_runs_family ON runs (family, k);
+CREATE INDEX IF NOT EXISTS idx_runs_version ON runs (algorithm, code_version);
+"""
+
+
+class StoreError(ValueError):
+    """The store file is unreadable, foreign, or from an unknown schema.
+
+    Subclasses :class:`ValueError` so the CLI's clean-error path applies.
+    """
+
+
+@dataclass(frozen=True)
+class GCStats:
+    """What ``RunStore.gc`` removed (or would remove, with ``dry_run``)."""
+
+    stale_version: int
+    unregistered: int
+
+    @property
+    def total(self) -> int:
+        return self.stale_version + self.unregistered
+
+
+def is_store_file(path: str) -> bool:
+    """True when ``path`` exists and starts with the SQLite magic header."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def _canonical_faults(faults: Mapping[str, Any]) -> str:
+    return json.dumps(dict(faults), sort_keys=True, separators=(",", ":"))
+
+
+class RunStore:
+    """One open experiment-store database (also a context manager)."""
+
+    def __init__(self, path: str, create: bool = True) -> None:
+        self.path = path
+        if path != ":memory:":
+            if not create and not os.path.exists(path):
+                raise StoreError(f"store {path} does not exist")
+            if os.path.exists(path) and os.path.getsize(path) > 0 and not is_store_file(path):
+                raise StoreError(f"{path} is not an experiment store (not an SQLite file)")
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(path)
+            self._conn.executescript(_SCHEMA)
+            self._check_schema_version()
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open store {path}: {exc}") from None
+
+    def _check_schema_version(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (_SCHEMA_VERSION,),
+            )
+        elif row[0] != _SCHEMA_VERSION:
+            raise StoreError(
+                f"store {self.path} has schema version {row[0]}, "
+                f"this build reads {_SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- writes
+    def put(
+        self,
+        fingerprint: str,
+        record: RunRecord,
+        code_version: Optional[str] = None,
+    ) -> None:
+        """Insert (or overwrite) one record and commit immediately.
+
+        The per-record commit is the resumability contract: a sweep killed
+        between jobs loses only the in-flight job, never completed ones.
+        """
+        self.put_many([(fingerprint, record)], code_version=code_version)
+
+    def put_many(
+        self,
+        entries: Iterable[Tuple[str, RunRecord]],
+        code_version: Optional[str] = None,
+    ) -> int:
+        """Insert a batch of ``(fingerprint, record)`` pairs in one transaction."""
+        versions = code_versions()
+        rows = []
+        now = time.time()
+        for fingerprint, record in entries:
+            scenario = ScenarioSpec.from_dict(record.scenario)
+            version = code_version or versions.get(record.algorithm, "")
+            rows.append((
+                fingerprint,
+                record.algorithm,
+                scenario.family,
+                scenario.k,
+                scenario.seed,
+                _canonical_faults(scenario.faults),
+                1 if scenario.check_invariants else 0,
+                record.status,
+                version,
+                scenario.digest(),
+                scenario.key(),
+                canonical_record_json(record),
+                now,
+            ))
+        try:
+            with self._conn:  # one transaction for the whole batch
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO runs (fingerprint, algorithm, family, k,"
+                    " seed, faults, check_invariants, status, code_version,"
+                    " scenario_digest, scenario_key, record, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+        except sqlite3.Error as exc:
+            raise StoreError(f"store write failed: {exc}") from None
+        return len(rows)
+
+    def import_records(self, records: Sequence[RunRecord]) -> Tuple[int, int]:
+        """Ingest legacy artifact records; returns ``(added, skipped)``.
+
+        Imported records are fingerprinted under each algorithm's *current*
+        code-version tag (an artifact carries no tag of its own -- importing
+        asserts it was produced by the current code).  Fingerprints already
+        present are skipped, never overwritten, so an import can't clobber
+        records the store computed itself.
+        """
+        added = skipped = 0
+        batch = []
+        for record in records:
+            scenario = ScenarioSpec.from_dict(record.scenario)
+            fingerprint = run_fingerprint(record.algorithm, scenario)
+            if self.get(fingerprint) is None:
+                batch.append((fingerprint, record))
+                added += 1
+            else:
+                skipped += 1
+        self.put_many(batch)
+        return added, skipped
+
+    def delete(self, fingerprints: Sequence[str]) -> int:
+        """Remove the given fingerprints; returns how many existed."""
+        with self._conn:
+            cursor = self._conn.executemany(
+                "DELETE FROM runs WHERE fingerprint = ?",
+                [(f,) for f in fingerprints],
+            )
+        return cursor.rowcount if cursor.rowcount >= 0 else 0
+
+    def gc(self, dry_run: bool = False) -> GCStats:
+        """Drop records no current fingerprint can ever reach.
+
+        Two kinds of garbage: rows minted under a code-version tag that is no
+        longer the algorithm's current tag, and rows of algorithms that left
+        the registry entirely.  Everything else stays -- a store legitimately
+        holds many sweeps' worth of live records.
+        """
+        versions = code_versions()
+        stale = unregistered = 0
+        doomed: List[str] = []
+        for fingerprint, algorithm, version in self._conn.execute(
+            "SELECT fingerprint, algorithm, code_version FROM runs"
+        ):
+            current = versions.get(algorithm)
+            if current is None:
+                unregistered += 1
+                doomed.append(fingerprint)
+            elif version != current:
+                stale += 1
+                doomed.append(fingerprint)
+        if doomed and not dry_run:
+            self.delete(doomed)
+        return GCStats(stale_version=stale, unregistered=unregistered)
+
+    # --------------------------------------------------------------- reads
+    def get(self, fingerprint: str) -> Optional[RunRecord]:
+        """The record stored under a fingerprint, or ``None``."""
+        row = self._conn.execute(
+            "SELECT record FROM runs WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is None:
+            return None
+        return record_from_dict(json.loads(row[0]), source=f"store:{self.path}")
+
+    def get_many(self, fingerprints: Sequence[str]) -> Dict[str, RunRecord]:
+        """Bulk lookup: ``{fingerprint: record}`` for the fingerprints present."""
+        found: Dict[str, RunRecord] = {}
+        batch = 500  # stay well under SQLite's bound-parameter limit
+        unique = list(dict.fromkeys(fingerprints))
+        for start in range(0, len(unique), batch):
+            chunk = unique[start : start + batch]
+            marks = ",".join("?" for _ in chunk)
+            for fingerprint, record in self._conn.execute(
+                f"SELECT fingerprint, record FROM runs WHERE fingerprint IN ({marks})",
+                chunk,
+            ):
+                found[fingerprint] = record_from_dict(
+                    json.loads(record), source=f"store:{self.path}"
+                )
+        return found
+
+    def query(
+        self,
+        algorithms: Optional[Sequence[str]] = None,
+        family: Optional[str] = None,
+        k: Optional[int] = None,
+        seed: Optional[int] = None,
+        faults: Optional[Mapping[str, Any]] = None,
+        status: Optional[str] = None,
+    ) -> List[RunRecord]:
+        """Filtered records in a deterministic order.
+
+        All filters are conjunctive; ``faults={}`` selects exactly the
+        fault-free records (``faults=None`` means "any profile").  The order
+        -- family, k, seed, scenario identity, algorithm -- is fixed so a
+        query's artifact bytes are reproducible from the same store state.
+        """
+        clauses: List[str] = []
+        params: List[Any] = []
+        if algorithms is not None:
+            if not list(algorithms):
+                return []  # an explicit empty filter matches nothing
+            clauses.append(
+                "algorithm IN (%s)" % ",".join("?" for _ in algorithms)
+            )
+            params.extend(algorithms)
+        for column, value in (("family", family), ("k", k), ("seed", seed), ("status", status)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if faults is not None:
+            clauses.append("faults = ?")
+            params.append(_canonical_faults(faults))
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._conn.execute(
+            "SELECT record FROM runs" + where +
+            " ORDER BY family, k, seed, scenario_key, algorithm",
+            params,
+        ).fetchall()
+        return [
+            record_from_dict(json.loads(row[0]), source=f"store:{self.path}")
+            for row in rows
+        ]
+
+    def all_records(self) -> List[RunRecord]:
+        """Every record, in the same deterministic order as :meth:`query`."""
+        return self.query()
+
+    def count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate shape of the store (for ``repro db stats``)."""
+        per_algorithm: Dict[str, Dict[str, int]] = {}
+        for algorithm, version, n in self._conn.execute(
+            "SELECT algorithm, code_version, COUNT(*) FROM runs"
+            " GROUP BY algorithm, code_version ORDER BY algorithm, code_version"
+        ):
+            per_algorithm.setdefault(algorithm, {})[version] = n
+        gc_preview = self.gc(dry_run=True)
+        return {
+            "path": self.path,
+            "records": self.count(),
+            "per_algorithm": per_algorithm,
+            "collectable": gc_preview.total,
+        }

@@ -1,0 +1,115 @@
+"""Cross-snapshot regression diffs between stores and/or JSON artifacts.
+
+``repro db diff OLD NEW`` compares two snapshots of experiment results --
+each side either a :class:`~repro.store.db.RunStore` file or a sweep JSON
+artifact -- record by record.  Records are matched by *run identity*
+(algorithm + canonical scenario key, deliberately ignoring code-version tags:
+the whole point is to see what a code change did to the numbers), and the
+comparison covers the metrics regressions care about: status, dispersal,
+time, total moves, and invariant violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.runner.artifacts import load_json
+from repro.runner.execute import RunRecord
+from repro.runner.scenario import ScenarioSpec
+from repro.store.db import RunStore, StoreError, is_store_file
+
+__all__ = ["DIFF_FIELDS", "FieldChange", "DiffResult", "load_side", "diff_records", "diff_paths"]
+
+#: Record fields a diff compares, in report order.
+DIFF_FIELDS = ("status", "dispersed", "time", "total_moves", "invariant_violations")
+
+#: Run identity: (algorithm, canonical scenario JSON).
+_Key = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    """One metric that moved between the two snapshots."""
+
+    algorithm: str
+    scenario_label: str
+    field: str
+    old: Any
+    new: Any
+
+    def render(self) -> str:
+        return (
+            f"{self.algorithm:14s} {self.scenario_label:42s} "
+            f"{self.field}: {self.old} -> {self.new}"
+        )
+
+
+@dataclass
+class DiffResult:
+    """Everything that differs between two snapshots."""
+
+    changed: List[FieldChange] = field(default_factory=list)
+    only_old: List[_Key] = field(default_factory=list)
+    only_new: List[_Key] = field(default_factory=list)
+    common: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the common records carry identical metrics."""
+        return not self.changed
+
+
+def load_side(path: str) -> Dict[_Key, RunRecord]:
+    """Load one diff side -- store or artifact -- keyed by run identity.
+
+    A snapshot may legitimately hold several records for one identity only if
+    they are byte-identical duplicates (e.g. an artifact written from a sweep
+    that repeats a job); conflicting duplicates raise :class:`StoreError`
+    because the diff would be ambiguous.
+    """
+    if is_store_file(path):
+        with RunStore(path, create=False) as store:
+            records = store.all_records()
+    else:
+        records = load_json(path)
+    side: Dict[_Key, RunRecord] = {}
+    for record in records:
+        key = (record.algorithm, ScenarioSpec.from_dict(record.scenario).key())
+        if key in side and side[key].to_dict() != record.to_dict():
+            raise StoreError(
+                f"{path}: conflicting duplicate records for {record.algorithm} "
+                f"on {record.scenario}"
+            )
+        side[key] = record
+    return side
+
+
+def diff_records(
+    old: Dict[_Key, RunRecord], new: Dict[_Key, RunRecord]
+) -> DiffResult:
+    """Compare two keyed snapshots over :data:`DIFF_FIELDS`."""
+    result = DiffResult()
+    result.only_old = sorted(set(old) - set(new))
+    result.only_new = sorted(set(new) - set(old))
+    for key in sorted(set(old) & set(new)):
+        result.common += 1
+        record_old, record_new = old[key], new[key]
+        label = ScenarioSpec.from_dict(record_new.scenario).label()
+        for field_name in DIFF_FIELDS:
+            value_old = getattr(record_old, field_name)
+            value_new = getattr(record_new, field_name)
+            if value_old != value_new:
+                result.changed.append(FieldChange(
+                    algorithm=record_new.algorithm,
+                    scenario_label=label,
+                    field=field_name,
+                    old=value_old,
+                    new=value_new,
+                ))
+    return result
+
+
+def diff_paths(old_path: str, new_path: str) -> DiffResult:
+    """Diff two snapshot files (each a store or a JSON artifact)."""
+    return diff_records(load_side(old_path), load_side(new_path))

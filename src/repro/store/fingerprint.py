@@ -1,0 +1,59 @@
+"""Content fingerprints: the experiment store's cache keys.
+
+A run's fingerprint pins down *everything* that determines its record bytes:
+
+* the scenario's world (``ScenarioSpec.base_key()`` -- graph family/params,
+  ``k``, ports, placement, adversary, master seed),
+* the fault profile and invariant-checking flag (they change the fault
+  schedule and the ``fault_events``/``invariant_violations`` fields),
+* the algorithm name, and
+* the algorithm's **code-version tag** from the registry
+  (:attr:`~repro.runner.registry.AlgorithmSpec.code_version`).
+
+Because every run is byte-deterministic given its spec (the runner's core
+guarantee), two jobs with equal fingerprints produce byte-identical records --
+which is exactly what makes serving a record from the store sound.  Bumping an
+algorithm's ``code_version`` when its implementation changes behaviour gives
+that algorithm fresh fingerprints while every other algorithm keeps hitting
+its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.runner.registry import get_algorithm
+from repro.runner.scenario import ScenarioSpec
+
+__all__ = ["run_fingerprint", "fingerprint_material"]
+
+
+def fingerprint_material(
+    algorithm: str, scenario: ScenarioSpec, code_version: Optional[str] = None
+) -> str:
+    """The canonical string a fingerprint hashes (stable across processes).
+
+    ``code_version=None`` reads the current tag from the registry; passing an
+    explicit tag lets tests and GC reason about hypothetical versions without
+    mutating registry state.
+    """
+    if code_version is None:
+        code_version = get_algorithm(algorithm).code_version
+    envelope = {
+        "algorithm": algorithm,
+        "code_version": code_version,
+        "world": scenario.base_dict(),
+        "faults": dict(scenario.faults),
+        "check_invariants": scenario.check_invariants,
+    }
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+
+
+def run_fingerprint(
+    algorithm: str, scenario: ScenarioSpec, code_version: Optional[str] = None
+) -> str:
+    """Hex SHA-256 fingerprint of one (algorithm, scenario) run."""
+    material = fingerprint_material(algorithm, scenario, code_version)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -1,0 +1,136 @@
+"""Round-trip and validation tests for the artifact layer.
+
+Covers the two artifact formats end to end: JSON artifacts must round-trip
+``RunRecord`` lists *exactly* (including the fault/invariant fields and the
+empty sweep), CSV views must carry every record and scenario field in
+parseable form, and ``load_json`` must reject foreign or truncated files with
+a clear :class:`ArtifactError` rather than a raw ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.runner.artifacts import (
+    ArtifactError,
+    canonical_record_json,
+    load_json,
+    load_payload,
+    write_csv,
+    write_json,
+)
+from repro.runner.execute import RunRecord
+from repro.runner.scenario import ScenarioSpec
+from repro.runner.sweep import SweepSpec, run_sweep
+
+
+def faulty_sweep() -> SweepSpec:
+    return SweepSpec(
+        name="roundtrip",
+        algorithms=["rooted_sync", "naive_dfs"],
+        scenarios=[ScenarioSpec(family="line", params={"n": 10}, k=6)],
+    ).with_profiles([{}, {"freeze": 0.8, "freeze_duration": 20}], check_invariants=True)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_sweep(faulty_sweep())
+
+
+# ---------------------------------------------------------------- JSON round trip
+def test_json_round_trip_preserves_every_field(tmp_path, records):
+    path = write_json(records, str(tmp_path / "a.json"), sweep=faulty_sweep())
+    loaded = load_json(path)
+    assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+    # The instrumented fields specifically survive (not all None).
+    assert any(r.fault_events is not None for r in loaded)
+    assert all(r.invariant_violations == 0 for r in loaded)
+
+
+def test_json_round_trip_is_byte_stable(tmp_path, records):
+    path1 = write_json(records, str(tmp_path / "a.json"))
+    path2 = write_json(load_json(path1), str(tmp_path / "b.json"))
+    with open(path1, "rb") as a, open(path2, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_empty_sweep_round_trips(tmp_path):
+    path = write_json([], str(tmp_path / "empty.json"))
+    assert load_json(path) == []
+    payload = load_payload(path)
+    assert payload["records"] == [] and payload["sweep"] is None
+
+
+def test_canonical_record_json_is_loadable_and_stable(records):
+    for record in records:
+        text = canonical_record_json(record)
+        assert RunRecord.from_dict(json.loads(text)).to_dict() == record.to_dict()
+        assert canonical_record_json(record) == text
+
+
+# ----------------------------------------------------------------- CSV round trip
+def test_csv_carries_every_record_and_scenario_field(tmp_path, records):
+    path = write_csv(records, str(tmp_path / "a.csv"))
+    with open(path, newline="", encoding="utf-8") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(records)
+    def as_int(cell: str):
+        return None if cell == "" else int(cell)
+
+    for row, record in zip(rows, records):
+        assert row["algorithm"] == record.algorithm
+        assert as_int(row["time"]) == record.time
+        assert as_int(row["total_moves"]) == record.total_moves
+        assert row["dispersed"] == ("" if record.dispersed is None else str(record.dispersed))
+        assert as_int(row["fault_events"]) == record.fault_events
+        assert as_int(row["invariant_violations"]) == record.invariant_violations
+        # Dict-valued scenario fields are embedded as canonical JSON.
+        assert json.loads(row["scenario_faults"]) == record.scenario["faults"]
+        assert json.loads(row["scenario_params"]) == record.scenario["params"]
+        assert int(row["scenario_k"]) == record.scenario["k"]
+
+
+def test_empty_sweep_csv_is_header_only(tmp_path):
+    path = write_csv([], str(tmp_path / "empty.csv"))
+    with open(path, newline="", encoding="utf-8") as fh:
+        rows = list(csv.reader(fh))
+    assert len(rows) == 1
+    assert "algorithm" in rows[0] and "scenario_faults" in rows[0]
+
+
+# --------------------------------------------------------------- load validation
+def test_load_json_rejects_truncated_file(tmp_path, records):
+    path = write_json(records, str(tmp_path / "a.json"))
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    truncated = tmp_path / "cut.json"
+    truncated.write_text(text[: len(text) // 2])
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_json(str(truncated))
+
+
+@pytest.mark.parametrize("payload, message", [
+    ("[1, 2, 3]", "not an object"),
+    ('{"something": "else"}', "not a repro sweep artifact"),
+    ('{"format": "repro-sweep-v999", "records": []}', "not a repro sweep artifact"),
+    ('{"format": "repro-sweep-v1"}', "missing or not a list"),
+    ('{"format": "repro-sweep-v1", "records": [42]}', "not an object"),
+    ('{"format": "repro-sweep-v1", "records": [{"status": "ok"}]}', "missing required"),
+    (
+        '{"format": "repro-sweep-v1", "records": '
+        '[{"algorithm": "x", "scenario": {}, "bogus_field": 1}]}',
+        "unknown record fields",
+    ),
+])
+def test_load_json_rejects_foreign_payloads_with_clear_errors(tmp_path, payload, message):
+    path = tmp_path / "foreign.json"
+    path.write_text(payload)
+    with pytest.raises(ArtifactError, match=message):
+        load_json(str(path))
+
+
+def test_artifact_error_is_a_value_error():
+    assert issubclass(ArtifactError, ValueError)

@@ -221,3 +221,168 @@ def test_sweep_crosses_grid_with_fault_profiles(tmp_path, capsys):
     assert all(r["invariant_violations"] == 0 for r in payload["records"])
     header = csv_path.read_text().splitlines()[0]
     assert "fault_events" in header and "invariant_violations" in header
+
+
+# ------------------------------------------------------- experiment store CLI
+def _store_spec(tmp_path):
+    spec = {
+        "name": "cli-store",
+        "algorithms": ["rooted_sync", "naive_dfs"],
+        "graphs": [{"family": "complete", "params": {"n": 10}}],
+        "ks": [6, 10],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    return str(spec_path)
+
+
+def test_sweep_store_second_run_is_fully_cached_and_byte_identical(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    store = str(tmp_path / "runs.sqlite")
+    cold, warm = str(tmp_path / "cold.json"), str(tmp_path / "warm.json")
+
+    assert main(["sweep", "--spec", spec_path, "--store", store,
+                 "--out", cold, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "0/4 cache hit(s), executing 4 job(s)" in out
+    assert "cache: 0 hit(s), 4 executed" in out
+
+    assert main(["sweep", "--spec", spec_path, "--store", store, "--resume",
+                 "--out", warm, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 cache hit(s), executing 0 job(s)" in out
+    assert "all 4 records served from cache (0 jobs executed)" in out
+    with open(cold, "rb") as a, open(warm, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_sweep_resume_without_store_exits_two(tmp_path, capsys):
+    code = main(["sweep", "--smoke", "--resume",
+                 "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "--resume needs --store" in capsys.readouterr().err
+
+
+def test_sweep_progress_line_lands_on_stderr(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    code = main(["sweep", "--spec", spec_path, "--progress", "--quiet",
+                 "--out", str(tmp_path / "x.json")])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "[4/4] hits=0 eta=" in err
+
+
+def test_db_query_artifact_feeds_report(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    store = str(tmp_path / "runs.sqlite")
+    assert main(["sweep", "--spec", spec_path, "--store", store,
+                 "--out", str(tmp_path / "a.json"), "--quiet"]) == 0
+    query_out = str(tmp_path / "query.json")
+    assert main(["db", "query", store, "--algorithm", "rooted_sync",
+                 "--out", query_out, "--csv", str(tmp_path / "query.csv")]) == 0
+    payload = json.loads((tmp_path / "query.json").read_text())
+    assert payload["format"] == "repro-sweep-v1"
+    assert len(payload["records"]) == 2
+    assert all(r["algorithm"] == "rooted_sync" for r in payload["records"])
+    capsys.readouterr()
+    assert main(["report", query_out]) == 0
+    assert "complete graphs" in capsys.readouterr().out
+
+
+def test_db_query_without_out_prints_summary(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    store = str(tmp_path / "runs.sqlite")
+    assert main(["sweep", "--spec", spec_path, "--store", store,
+                 "--out", str(tmp_path / "a.json"), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["db", "query", store, "--k", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "2 record(s) match" in out and "k=6" in out
+
+
+def test_db_diff_detects_changes_and_sets_exit_code(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    store = str(tmp_path / "runs.sqlite")
+    artifact = str(tmp_path / "a.json")
+    assert main(["sweep", "--spec", spec_path, "--store", store,
+                 "--out", artifact, "--quiet"]) == 0
+    capsys.readouterr()
+
+    assert main(["db", "diff", artifact, store]) == 0
+    assert "no metric changes" in capsys.readouterr().out
+
+    payload = json.loads((tmp_path / "a.json").read_text())
+    payload["records"][0]["time"] = 99999
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(payload))
+    assert main(["db", "diff", store, str(tampered)]) == 1
+    out = capsys.readouterr().out
+    assert "time:" in out and "-> 99999" in out and "1 metric change(s)" in out
+
+
+def test_db_import_then_sweep_is_fully_cached(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    artifact = str(tmp_path / "legacy.json")
+    assert main(["sweep", "--spec", spec_path, "--out", artifact, "--quiet"]) == 0
+    store = str(tmp_path / "runs.sqlite")
+    capsys.readouterr()
+    assert main(["db", "import", store, artifact]) == 0
+    assert "imported 4 record(s), skipped 0" in capsys.readouterr().out
+    assert main(["sweep", "--spec", spec_path, "--store", store,
+                 "--out", str(tmp_path / "warm.json"), "--quiet"]) == 0
+    assert "0 jobs executed" in capsys.readouterr().out
+
+
+def test_db_stats_and_gc_on_fresh_store(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    store = str(tmp_path / "runs.sqlite")
+    assert main(["sweep", "--spec", spec_path, "--store", store,
+                 "--out", str(tmp_path / "a.json"), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["db", "stats", store]) == 0
+    out = capsys.readouterr().out
+    assert "4 record(s)" in out and "rooted_sync" in out and "collectable by gc: 0" in out
+    assert main(["db", "gc", store]) == 0
+    assert "removed 0 record(s)" in capsys.readouterr().out
+
+
+def test_db_query_on_missing_store_exits_two(tmp_path, capsys):
+    code = main(["db", "query", str(tmp_path / "absent.sqlite")])
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_db_diff_on_truncated_artifact_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "repro-sweep-v1", "records": [{"alg')
+    code = main(["db", "diff", str(bad), str(bad)])
+    assert code == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_check_invariants_alone_keeps_spec_file_fault_profiles(tmp_path, capsys):
+    spec = {
+        "name": "keep-faults",
+        "algorithms": ["rooted_sync"],
+        "scenarios": [{
+            "family": "line", "params": {"n": 10}, "k": 6,
+            "faults": {"freeze": 0.8, "freeze_duration": 20},
+        }],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    out_path = tmp_path / "out.json"
+    code = main(["sweep", "--spec", str(spec_path), "--check-invariants",
+                 "--out", str(out_path), "--quiet"])
+    assert code == 0
+    record = json.loads(out_path.read_text())["records"][0]
+    assert record["scenario"]["faults"] == {"freeze": 0.8, "freeze_duration": 20}
+    assert record["scenario"]["check_invariants"] is True
+    assert record["invariant_violations"] == 0
+
+
+def test_empty_algorithm_filter_value_exits_two(tmp_path, capsys):
+    code = main(["sweep", "--smoke", "--algorithms", " , ",
+                 "--out", str(tmp_path / "x.json"), "--quiet"])
+    assert code == 2
+    assert "no algorithm names" in capsys.readouterr().err

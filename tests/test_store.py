@@ -1,0 +1,286 @@
+"""Tests for the persistent experiment store (``repro.store``).
+
+The store's contract has three legs:
+
+1. **Soundness** -- a record served from the store is byte-identical to the
+   record a cold execution would produce (fingerprints cover everything that
+   determines the bytes, nothing else).
+2. **Incrementality** -- warm sweeps execute zero jobs, partially warm sweeps
+   execute exactly the missing ones, and bumping one algorithm's code-version
+   tag invalidates exactly that algorithm's cached records.
+3. **Queryability** -- SQL-side filters return deterministic record lists that
+   round-trip through the existing artifact formats, and diffs catch metric
+   changes between snapshots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.runner import artifacts as artifacts_mod
+from repro.runner import registry
+from repro.runner.execute import RunRecord
+from repro.runner.scenario import ScenarioSpec
+from repro.runner.sweep import SweepSpec, run_sweep
+from repro.store import (
+    RunStore,
+    StoreError,
+    diff_paths,
+    diff_records,
+    execute_plan,
+    load_side,
+    plan_sweep,
+    run_fingerprint,
+)
+
+
+def small_sweep(name: str = "store-grid") -> SweepSpec:
+    return SweepSpec.from_grid(
+        name=name,
+        algorithms=["rooted_sync", "naive_dfs"],
+        graphs=[{"family": "complete", "params": {"n": 10}}],
+        ks=[6, 10],
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(str(tmp_path / "runs.sqlite")) as s:
+        yield s
+
+
+SPEC = ScenarioSpec(family="complete", params={"n": 10}, k=6)
+
+
+# ------------------------------------------------------------- fingerprints
+def test_fingerprint_is_deterministic():
+    assert run_fingerprint("rooted_sync", SPEC) == run_fingerprint("rooted_sync", SPEC)
+
+
+@pytest.mark.parametrize("variant", [
+    ScenarioSpec(family="complete", params={"n": 10}, k=7),
+    ScenarioSpec(family="complete", params={"n": 10}, k=6, seed=1),
+    ScenarioSpec(family="complete", params={"n": 10}, k=6, faults={"crash": 0.1}),
+    ScenarioSpec(family="complete", params={"n": 10}, k=6, check_invariants=True),
+    ScenarioSpec(family="ring", params={"n": 10}, k=6),
+])
+def test_fingerprint_covers_every_run_determining_field(variant):
+    assert run_fingerprint("rooted_sync", variant) != run_fingerprint("rooted_sync", SPEC)
+
+
+def test_fingerprint_distinguishes_algorithm_and_code_version():
+    base = run_fingerprint("rooted_sync", SPEC)
+    assert run_fingerprint("naive_dfs", SPEC) != base
+    assert run_fingerprint("rooted_sync", SPEC, code_version="2") != base
+
+
+# ------------------------------------------------------------ put/get/query
+def test_put_get_round_trips_record_exactly(store):
+    record = run_sweep(small_sweep())[0]
+    fingerprint = run_fingerprint(record.algorithm, ScenarioSpec.from_dict(record.scenario))
+    store.put(fingerprint, record)
+    loaded = store.get(fingerprint)
+    assert loaded.to_dict() == record.to_dict()
+    assert store.get("0" * 64) is None
+    assert store.count() == 1
+
+
+def test_query_filters_and_deterministic_order(store):
+    sweep = small_sweep()
+    records = run_sweep(sweep, store=store)
+    assert store.count() == len(records) == 4
+
+    only_sync = store.query(algorithms=["rooted_sync"])
+    assert {r.algorithm for r in only_sync} == {"rooted_sync"}
+    assert len(only_sync) == 2
+
+    k6 = store.query(k=6)
+    assert all(r.scenario["k"] == 6 for r in k6) and len(k6) == 2
+
+    assert store.query(faults={}) and not store.query(faults={"crash": 0.5})
+    assert store.query(status="ok") == store.query()
+    assert [r.to_dict() for r in store.query()] == [r.to_dict() for r in store.query()]
+
+
+def test_fault_profiles_are_distinct_store_entries(store):
+    sweep = SweepSpec(
+        name="faulty", algorithms=["rooted_sync"],
+        scenarios=[ScenarioSpec(family="line", params={"n": 10}, k=6)],
+    ).with_profiles([{}, {"freeze": 0.8, "freeze_duration": 20}], check_invariants=True)
+    records = run_sweep(sweep, store=store)
+    assert len(records) == 2 and store.count() == 2
+    fault_free = store.query(faults={})
+    assert len(fault_free) == 1
+    assert fault_free[0].invariant_violations == 0
+
+
+# ------------------------------------------------------- cache-aware sweeps
+def test_warm_sweep_executes_zero_jobs_and_matches_cold_bytes(store, tmp_path):
+    sweep = small_sweep()
+    cold = run_sweep(sweep, store=store)
+    plan = plan_sweep(sweep, store)
+    assert plan.hits == plan.total and plan.pending == []
+    warm = execute_plan(plan, store=store)
+    cold_path = artifacts_mod.write_json(cold, str(tmp_path / "cold.json"), sweep=sweep)
+    warm_path = artifacts_mod.write_json(warm, str(tmp_path / "warm.json"), sweep=sweep)
+    with open(cold_path, "rb") as a, open(warm_path, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_interrupted_sweep_resumes_only_missing_records(store):
+    sweep = small_sweep()
+    # Simulate an interrupt: only the first scenario's records were committed.
+    partial = SweepSpec(
+        name=sweep.name, algorithms=sweep.algorithms, scenarios=sweep.scenarios[:1]
+    )
+    run_sweep(partial, store=store)
+    plan = plan_sweep(sweep, store)
+    assert plan.hits == 2 and len(plan.pending) == 2
+    resumed = execute_plan(plan, store=store)
+    pure_cold = run_sweep(sweep)
+    assert [r.to_dict() for r in resumed] == [r.to_dict() for r in pure_cold]
+    assert plan_sweep(sweep, store).hits == plan.total
+
+
+def test_parallel_and_serial_cached_sweeps_agree(store):
+    sweep = small_sweep()
+    run_sweep(SweepSpec(
+        name=sweep.name, algorithms=["rooted_sync"], scenarios=sweep.scenarios,
+    ), store=store)  # half-warm store
+    parallel = run_sweep(sweep, workers=3, store=store)
+    serial = run_sweep(sweep, workers=1)
+    assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+
+def test_progress_sees_every_record_with_cached_flags(store):
+    sweep = small_sweep()
+    run_sweep(sweep, store=store)
+    seen = []
+    execute_plan(
+        plan_sweep(sweep, store), store=store,
+        progress=lambda done, total, record, cached: seen.append((done, total, cached)),
+    )
+    assert seen == [(i + 1, 4, True) for i in range(4)]
+
+
+# ------------------------------------------------- code-version invalidation
+def test_version_bump_invalidates_exactly_that_algorithm(store, monkeypatch):
+    sweep = small_sweep()
+    run_sweep(sweep, store=store)
+    spec = registry.get_algorithm("rooted_sync")
+    monkeypatch.setitem(
+        registry._REGISTRY, "rooted_sync", dataclasses.replace(spec, code_version="2")
+    )
+    plan = plan_sweep(sweep, store)
+    stale = [plan.jobs[i][0] for i in plan.pending]
+    assert stale == ["rooted_sync", "rooted_sync"]
+    assert plan.hits == 2  # naive_dfs untouched
+
+
+def test_gc_drops_stale_versions_only(store, monkeypatch):
+    run_sweep(small_sweep(), store=store)
+    spec = registry.get_algorithm("rooted_sync")
+    monkeypatch.setitem(
+        registry._REGISTRY, "rooted_sync", dataclasses.replace(spec, code_version="2")
+    )
+    preview = store.gc(dry_run=True)
+    assert preview.stale_version == 2 and store.count() == 4  # dry run deletes nothing
+    stats = store.gc()
+    assert stats.stale_version == 2 and stats.unregistered == 0
+    assert store.count() == 2
+    assert {r.algorithm for r in store.all_records()} == {"naive_dfs"}
+
+
+# ------------------------------------------------------------------- import
+def test_import_legacy_artifact_makes_sweep_fully_cached(store, tmp_path):
+    sweep = small_sweep()
+    records = run_sweep(sweep)
+    path = artifacts_mod.write_json(records, str(tmp_path / "legacy.json"), sweep=sweep)
+    added, skipped = store.import_records(artifacts_mod.load_json(path))
+    assert (added, skipped) == (4, 0)
+    assert store.import_records(artifacts_mod.load_json(path)) == (0, 4)
+    assert plan_sweep(sweep, store).hits == 4
+
+
+# --------------------------------------------------------------------- diff
+def test_diff_clean_between_store_and_artifact(store, tmp_path):
+    sweep = small_sweep()
+    records = run_sweep(sweep, store=store)
+    path = artifacts_mod.write_json(records, str(tmp_path / "snap.json"), sweep=sweep)
+    result = diff_paths(path, store.path)
+    assert result.is_clean and result.common == 4
+    assert not result.only_old and not result.only_new
+
+
+def test_diff_reports_metric_changes_and_membership(store, tmp_path):
+    sweep = small_sweep()
+    records = run_sweep(sweep, store=store)
+    old = load_side(store.path)
+    # Tamper: regress one record's time and drop another run entirely.
+    tampered = {k: v for k, v in old.items()}
+    key = sorted(tampered)[0]
+    worse = RunRecord.from_dict({**tampered[key].to_dict(), "time": 10_000})
+    tampered[key] = worse
+    removed = sorted(tampered)[-1]
+    del tampered[removed]
+    result = diff_records(old, tampered)
+    assert not result.is_clean
+    assert [c.field for c in result.changed] == ["time"]
+    assert result.changed[0].new == 10_000
+    assert result.only_old == [removed] and not result.only_new
+    assert result.common == len(records) - 1
+
+
+def test_load_side_rejects_conflicting_duplicates(tmp_path):
+    records = run_sweep(small_sweep())
+    twisted = RunRecord.from_dict({**records[0].to_dict(), "time": 1})
+    path = artifacts_mod.write_json(list(records) + [twisted], str(tmp_path / "dup.json"))
+    with pytest.raises(StoreError, match="conflicting duplicate"):
+        load_side(str(path))
+
+
+# ------------------------------------------------------------------- errors
+def test_opening_a_foreign_file_raises_store_error(tmp_path):
+    path = tmp_path / "not-a-store.sqlite"
+    path.write_text("definitely not sqlite")
+    with pytest.raises(StoreError, match="not an experiment store"):
+        RunStore(str(path))
+
+
+def test_opening_missing_store_without_create_raises(tmp_path):
+    with pytest.raises(StoreError, match="does not exist"):
+        RunStore(str(tmp_path / "absent.sqlite"), create=False)
+
+
+# -------------------------------------------- fault-profile canonicalization
+def test_equivalent_fault_profiles_share_fingerprints_and_keys():
+    minimal = ScenarioSpec(family="line", params={"n": 10}, k=6, faults={"crash": 0.1})
+    spelled = ScenarioSpec(
+        family="line", params={"n": 10}, k=6, faults={"crash": 0.1, "horizon": 240}
+    )
+    as_int = ScenarioSpec(family="line", params={"n": 10}, k=6, faults={"crash": 1})
+    as_float = ScenarioSpec(family="line", params={"n": 10}, k=6, faults={"crash": 1.0})
+    assert minimal.key() == spelled.key()
+    assert run_fingerprint("rooted_sync", minimal) == run_fingerprint("rooted_sync", spelled)
+    assert as_int.key() == as_float.key()
+    assert as_int.faults == {"crash": 1.0}
+
+
+def test_query_by_profile_matches_spelled_out_defaults(store):
+    sweep = SweepSpec(
+        name="canon", algorithms=["rooted_sync"],
+        scenarios=[ScenarioSpec(
+            family="line", params={"n": 10}, k=6,
+            faults={"crash": 0.1, "horizon": 240},  # 240 is the default
+        )],
+    )
+    run_sweep(sweep, store=store)
+    assert len(store.query(faults={"crash": 0.1})) == 1
+
+
+def test_query_with_explicit_empty_algorithm_list_matches_nothing(store):
+    run_sweep(small_sweep(), store=store)
+    assert store.query(algorithms=[]) == []
+    assert len(store.query(algorithms=None)) == 4
