@@ -17,14 +17,17 @@ Three contracts back the fault subsystem's acceptance criteria:
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
 from repro.runner import ScenarioSpec, run_scenario, run_sweep
 from repro.runner.registry import core_algorithm_names
 from repro.runner.sweep import SweepSpec
+from repro.sim.faults import FaultInjector, FaultSpec
 
 from benchmarks.conftest import report
+from tests.fault_reference import RescanFaultInjector
 
 
 ZOO = [
@@ -85,6 +88,54 @@ def test_fault_sweep_is_byte_deterministic_across_workers():
     # Fault-free profile: everything disperses cleanly.
     clean = [r for r in serial if not r["scenario"]["faults"]]
     assert clean and all(r["dispersed"] and r["invariant_violations"] == 0 for r in clean)
+
+
+def test_event_cursor_injector_beats_rescan_baseline(record_rows):
+    """The v2 event-cursor scheduler must beat the v1 per-tick rescan.
+
+    An ASYNC run makes one ``begin_tick`` per activation -- tens to hundreds
+    of thousands of ticks against a ~240-tick fault horizon.  The v1 injector
+    rescanned every crash/freeze entry on each of them (O(agents) per tick);
+    the v2 cursors advance in O(1) amortized.  This drives both through the
+    activation count of a long-horizon ASYNC sweep over one schedule and
+    asserts (a) they announce the identical events and (b) the cursors win by
+    a wide margin.
+    """
+    spec = FaultSpec(crash=0.5, freeze=0.5, freeze_duration=40, horizon=240)
+    agent_ids = list(range(1, 121))  # a crowded population: ~120 entries to scan
+    ticks = 60_000  # activations of a long ASYNC run (240-tick fault horizon)
+
+    injector = FaultInjector(spec, agent_ids, seed=7)
+    baseline = RescanFaultInjector(injector.crash_at, injector.freeze_window)
+
+    start = time.perf_counter()
+    for tick in range(ticks):
+        injector.begin_tick(tick, None)  # engine unused: the profile has no churn
+    cursor_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for tick in range(ticks):
+        baseline.begin_tick(tick)
+    rescan_seconds = time.perf_counter() - start
+
+    # Same announcements, same final blocked set -- the speedup is free.
+    assert injector.counts["crash"] == baseline.counts["crash"] > 0
+    assert injector.counts["freeze"] == baseline.counts["freeze"] > 0
+    assert injector.blocked_cycle_agents(ticks - 1) == baseline.blocked_at(ticks - 1)
+
+    speedup = rescan_seconds / max(cursor_seconds, 1e-9)
+    report(
+        "fault injector: event cursors vs per-tick rescan",
+        [
+            f"agents={len(agent_ids)} ticks={ticks} horizon={spec.horizon}",
+            f"rescan  {rescan_seconds * 1e3:9.1f} ms",
+            f"cursors {cursor_seconds * 1e3:9.1f} ms",
+            f"speedup {speedup:9.1f}x",
+        ],
+    )
+    record_rows.append(("fault-injector/cursors", f"{speedup:.1f}x over rescan"))
+    # The measured margin is ~30x; 5x keeps the assertion robust on noisy CI.
+    assert speedup > 5.0
 
 
 def test_crash_faults_falsify_async_epoch_guarantee(record_rows):

@@ -79,7 +79,10 @@ class GeneralAsyncDispersion:
         for label, (node, members) in enumerate(
             sorted(self.groups.items(), key=lambda item: -len(item[1]))
         ):
-            if len(members) >= SMALL_K_THRESHOLD:
+            # A group whose every member is fault-blocked at time 0 cannot
+            # settle its root no matter its size: it degrades to the scatter
+            # path (thawed members recover later) instead of aborting the run.
+            if len(members) >= SMALL_K_THRESHOLD and self._eligible_root_settler(members) is not None:
                 driver = RootedAsyncDispersion(
                     self.graph,
                     k=len(members),
@@ -94,7 +97,14 @@ class GeneralAsyncDispersion:
                 driver.settle_root()
             else:
                 driver = None
-                smallest = min(members, key=lambda a: a.agent_id)
+                smallest = self._eligible_root_settler(members)
+                if smallest is None:
+                    # Every member of this tiny group is fault-blocked at time
+                    # 0: nobody can execute a settle cycle, so the node stays
+                    # unclaimed (thawed members are scattered later) -- same
+                    # rule as the SYNC driver (v2 fault contract).
+                    group_drivers.append((node, members, driver))
+                    continue
                 smallest.settle(node, None, treelabel=label)
             self.all_visited.add(node)
             group_drivers.append((node, members, driver))
@@ -127,6 +137,15 @@ class GeneralAsyncDispersion:
         )
 
     # --------------------------------------------------------------- scatter
+    def _eligible_root_settler(self, members: Sequence[Agent]) -> Optional[Agent]:
+        """Smallest group member whose settle cycle is not fault-blocked."""
+        pool = [
+            a
+            for a in members
+            if not a.settled and not self.engine.fault_view(a.agent_id).blocked_for_cycle
+        ]
+        return min(pool, key=lambda a: a.agent_id) if pool else None
+
     def _free_node(self, node: int) -> bool:
         return not any(a.settled and a.home == node for a in self.engine.agents_at(node))
 
@@ -157,21 +176,64 @@ class GeneralAsyncDispersion:
         """Walk leftover agents to free nodes via agent programs (measured)."""
         group = [a for a in agents if not a.settled]
         while group:
-            head = group[0].position
+            mobile = [
+                a
+                for a in group
+                if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+            ]
+            if not mobile:
+                # Everybody left is crashed or frozen.  Frozen agents thaw, so
+                # burn activations until one does; pure crash-stop leftovers
+                # run into the max_activations cap and the faulty run is
+                # reported as data (same rule as the SYNC driver).
+                ids = tuple(a.agent_id for a in group)
+                self.engine.run_until(
+                    lambda ids=ids: any(
+                        not self.engine.fault_view(i).blocked_for_cycle for i in ids
+                    )
+                )
+                group = [a for a in group if not a.settled]
+                continue
+            head = mobile[0].position
+            # Only agents standing at the head may follow this path -- a
+            # straggler (frozen during an earlier walk, thawed elsewhere) would
+            # otherwise execute a program relative to another node's ports.
+            # It becomes the head of a later iteration instead.
+            walkers = [a for a in mobile if a.position == head]
             path = self._path_to_nearest_free(head)
             if path is None:
                 raise RuntimeError("no free node left although agents remain unsettled")
             target = head
             for port in path:
                 target = self.graph.neighbor(target, port)
-            for agent in group:
+            for agent in walkers:
                 self.engine.assign(agent.agent_id, self._walk_program(list(path)))
-            ids = tuple(a.agent_id for a in group)
+            ids = tuple(a.agent_id for a in walkers)
             self.engine.run_until(
                 lambda ids=ids, t=target: all(self.agents[i].position == t for i in ids)
             )
             self.metrics.bump("scatter_walks")
-            settler = min(group, key=lambda a: a.agent_id)
+            # The walkers are all at the target; one of them must also be able
+            # to execute a settle cycle *now* (an agent can arrive and then
+            # freeze), so wait out any freeze window before settling.
+            eligible = [
+                a
+                for a in walkers
+                if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+            ]
+            if not eligible:
+                ids = tuple(a.agent_id for a in walkers)
+                self.engine.run_until(
+                    lambda ids=ids: any(
+                        not self.engine.fault_view(i).blocked_for_cycle for i in ids
+                    )
+                )
+                eligible = [
+                    a
+                    for a in walkers
+                    if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+                ]
+            settler = min(eligible, key=lambda a: a.agent_id)
             settler.settle(target, None)
             self.all_visited.add(target)
             self.metrics.bump("scatter_settled")

@@ -115,7 +115,10 @@ class GeneralSyncDispersion:
         for node, members in sorted(
             self.groups.items(), key=lambda item: -len(item[1])
         ):
-            if len(members) >= SMALL_K_THRESHOLD:
+            # A group whose every member is fault-blocked at time 0 cannot
+            # settle its root no matter its size: it degrades to the scatter
+            # path (thawed members recover later) instead of aborting the run.
+            if len(members) >= SMALL_K_THRESHOLD and self._eligible_root_settler(members) is not None:
                 driver = RootedSyncDispersion(
                     self.graph,
                     k=len(members),
@@ -130,7 +133,13 @@ class GeneralSyncDispersion:
                 driver.settle_root()
             else:
                 driver = None
-                smallest = min(members, key=lambda a: a.agent_id)
+                smallest = self._eligible_root_settler(members)
+                if smallest is None:
+                    # Every member of this tiny group is fault-blocked at time
+                    # 0: nobody can execute a settle cycle, so the node stays
+                    # unclaimed (thawed members are scattered later).
+                    group_drivers.append((node, members, driver))
+                    continue
                 smallest.settle(node, None)
             self.all_visited.add(node)
             group_drivers.append((node, members, driver))
@@ -169,6 +178,15 @@ class GeneralSyncDispersion:
         )
 
     # --------------------------------------------------------------- scatter
+    def _eligible_root_settler(self, members: Sequence[Agent]) -> Optional[Agent]:
+        """Smallest group member whose settle cycle is not fault-blocked."""
+        pool = [
+            a
+            for a in members
+            if not a.settled and not self.engine.fault_view(a.agent_id).blocked_for_cycle
+        ]
+        return min(pool, key=lambda a: a.agent_id) if pool else None
+
     def _free_node(self, node: int) -> bool:
         """A node is free when no settled agent calls it home."""
         return not any(a.settled and a.home == node for a in self.engine.agents_at(node))
@@ -203,20 +221,56 @@ class GeneralSyncDispersion:
         """
         group = [a for a in agents if not a.settled]
         while group:
-            head = group[0].position
+            mobile = [
+                a
+                for a in group
+                if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+            ]
+            if not mobile:
+                # Everybody left is crashed or frozen.  Frozen agents thaw, so
+                # idle real rounds until one does; a group of pure crash-stop
+                # agents runs into the engine's max_rounds cap instead (the
+                # faulty run is then reported as data, not hung).
+                self.engine.step({})
+                group = [a for a in group if not a.settled]
+                continue
+            head = mobile[0].position
+            # Only agents standing at the head may follow this path -- a
+            # straggler (frozen during an earlier walk, thawed elsewhere) would
+            # otherwise be driven through another node's ports.  It becomes
+            # the head of a later iteration instead.
+            walkers = [a for a in mobile if a.position == head]
             path = self._path_to_nearest_free(head)
             if path is None:
                 raise RuntimeError("no free node left although agents remain unsettled")
             current = head
             for port in path:
-                moves = {a.agent_id: port for a in group}
+                # Re-filter per step: a walker whose move was fault-dropped is
+                # no longer on ``current``, and feeding it the rest of the path
+                # would cross edges relative to the wrong node.  It falls out
+                # of the pack and is retried on a later iteration (the ASYNC
+                # engine instead *defers* the dropped Move; both converge).
+                moves = {
+                    a.agent_id: port for a in walkers if a.position == current
+                }
                 self.engine.step(moves)
                 current = self.graph.neighbor(current, port)
                 self.metrics.bump("scatter_moves")
-            settler = min(group, key=lambda a: a.agent_id)
-            settler.settle(current, None)
-            self.all_visited.add(current)
-            self.metrics.bump("scatter_settled")
+            # An agent that froze mid-walk fell out of the pack; only agents
+            # that actually completed the walk (and can execute a settle cycle
+            # right now) are settlement candidates.  Stragglers are retried on
+            # the next loop iteration.
+            arrived = [
+                a
+                for a in walkers
+                if a.position == current
+                and not self.engine.fault_view(a.agent_id).blocked_for_cycle
+            ]
+            if arrived:
+                settler = min(arrived, key=lambda a: a.agent_id)
+                settler.settle(current, None)
+                self.all_visited.add(current)
+                self.metrics.bump("scatter_settled")
             group = [a for a in group if not a.settled]
 
 

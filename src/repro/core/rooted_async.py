@@ -158,11 +158,17 @@ class RootedAsyncDispersion:
         return None
 
     def _settle_smallest_at(self, node: int, parent_port: Optional[int]) -> Agent:
+        # ``agents_at`` is the fault-filtered Communicate query, so a crashed
+        # or frozen agent can never be chosen to settle (v2 fault contract).
         candidates = [
             a
             for a in self.engine.agents_at(node)
             if not a.settled and a.agent_id in self.agents
         ]
+        if not candidates:
+            raise RuntimeError(
+                f"no fault-eligible agent available to settle at node {node}"
+            )
         non_leader = [a for a in candidates if a is not self.leader]
         pool = non_leader if non_leader else candidates
         agent = min(pool, key=lambda a: a.agent_id)

@@ -218,8 +218,24 @@ class RootedSyncDispersion:
 
     # ------------------------------------------------------------ DFS phase
     def settle_root(self) -> None:
-        """Settle the smallest-ID agent at the root (the DFS's first action)."""
-        amin = min(self.agents.values(), key=lambda a: a.agent_id)
+        """Settle the smallest-ID agent at the root (the DFS's first action).
+
+        Settling is part of the settling agent's own CCM cycle, so the
+        candidate pool comes from the engine's fault-filtered co-location
+        query: a crashed/frozen agent cannot take the root (v2 fault
+        contract), the next-smallest healthy agent does.
+        """
+        candidates = [
+            a
+            for a in self.engine.agents_at(self.root)
+            if not a.settled and a.agent_id in self.agents
+        ]
+        if not candidates:
+            raise RuntimeError(
+                f"every agent at root node {self.root} is fault-blocked; "
+                "the DFS cannot settle its root"
+            )
+        amin = min(candidates, key=lambda a: a.agent_id)
         amin.settle(self.root, None)
         self.visited.add(self.root)
         self.depth[self.root] = 0
@@ -434,6 +450,10 @@ class RootedSyncDispersion:
         explorers = [a for a in candidates if a not in self.seekers]
         pool = explorers if explorers else candidates
         if not pool:
+            if self.engine.fault_view(self.leader.agent_id).blocked_for_cycle:
+                raise RuntimeError(
+                    f"no fault-eligible agent available to settle at node {node}"
+                )
             pool = [self.leader]
             self.metrics.bump("leader_settled_during_dfs")
         elif not explorers:

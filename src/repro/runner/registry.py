@@ -229,6 +229,9 @@ register(AlgorithmSpec(
     claimed_bound="O(k)",
     adapter=_rooted_sync,
     entry_point="repro.core.rooted_sync:rooted_sync_dispersion",
+    # v2: the SYNC engine now skips the whole CCM cycle of crashed/frozen
+    # agents (settle + probe paths), changing every fault-sweep record.
+    code_version="2",
 ))
 register(AlgorithmSpec(
     name="rooted_async",
@@ -238,6 +241,10 @@ register(AlgorithmSpec(
     claimed_bound="O(k log k)",
     adapter=_rooted_async,
     entry_point="repro.core.rooted_async:rooted_async_dispersion",
+    # v2: the ASYNC engine always skipped blocked cycles, but its co-location
+    # queries now hide crashed/frozen agents too (probe answers, settle
+    # candidacy), so cached fault records must be recomputed as well.
+    code_version="2",
 ))
 register(AlgorithmSpec(
     name="general_sync",
@@ -247,6 +254,7 @@ register(AlgorithmSpec(
     claimed_bound="O(k)",
     adapter=_general_sync,
     entry_point="repro.core.general_sync:general_sync_dispersion",
+    code_version="2",  # v2 fault semantics (see rooted_sync)
 ))
 register(AlgorithmSpec(
     name="general_async",
@@ -256,6 +264,7 @@ register(AlgorithmSpec(
     claimed_bound="O(k log k)",
     adapter=_general_async,
     entry_point="repro.core.general_async:general_async_dispersion",
+    code_version="2",  # v2 fault semantics (see rooted_async)
 ))
 register(AlgorithmSpec(
     name="naive_dfs",
@@ -265,6 +274,7 @@ register(AlgorithmSpec(
     claimed_bound="O(min{m, kΔ})",
     adapter=_naive_dfs,
     entry_point="repro.baselines.naive_dfs:naive_sync_dispersion",
+    code_version="2",  # v2 fault semantics (see rooted_sync)
 ))
 register(AlgorithmSpec(
     name="sudo_disc24",
@@ -274,6 +284,7 @@ register(AlgorithmSpec(
     claimed_bound="O(k log k)",
     adapter=_sudo_disc24,
     entry_point="repro.baselines.sudo_disc24:sudo_sync_dispersion",
+    code_version="2",  # v2 fault semantics (see rooted_sync)
 ))
 register(AlgorithmSpec(
     name="ks_opodis21",
@@ -283,6 +294,7 @@ register(AlgorithmSpec(
     claimed_bound="O(min{m, kΔ})",
     adapter=_ks_opodis21,
     entry_point="repro.baselines.ks_opodis21:ks_async_dispersion",
+    code_version="2",  # v2 fault semantics (see rooted_async)
 ))
 register(AlgorithmSpec(
     name="random_walk",
@@ -293,4 +305,5 @@ register(AlgorithmSpec(
     adapter=_random_walk,
     entry_point="repro.baselines.random_walk:random_walk_dispersion",
     guaranteed=False,
+    code_version="2",  # v2 fault semantics (see rooted_sync)
 ))

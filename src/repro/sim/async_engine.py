@@ -31,7 +31,7 @@ from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
 from repro.sim import instrumentation
 from repro.sim.adversary import Adversary, RandomAdversary
-from repro.sim.faults import FaultInjector
+from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import RunMetrics
 
@@ -123,6 +123,10 @@ class AsyncEngine:
         self._programs: Dict[int, Optional[Program]] = {a: None for a in self.agents}
         self._pending: Dict[int, Optional[Action]] = {a: None for a in self.agents}
         self._active_this_epoch: Set[int] = set()
+        #: While an activation is executing, the tick it runs at; fault queries
+        #: made by program code must see *that* tick, not the already-advanced
+        #: activation counter (``None`` between activations).
+        self._cycle_time: Optional[int] = None
 
     # ------------------------------------------------------------- programs
     def assign(self, agent_id: int, program: Program) -> None:
@@ -179,37 +183,54 @@ class AsyncEngine:
         injector = self.fault_injector
         if injector is not None:
             injector.begin_tick(now, self)
-            if injector.is_blocked(agent_id, now):
+            if injector.view(agent_id, now).blocked_for_cycle:
                 # A crashed/frozen agent is scheduled but performs no cycle; it
                 # does not count toward the epoch (an epoch ends only when every
                 # agent *completes* a CCM cycle).
-                injector.count_blocked()
+                injector.record_blocked(agent_id, now)
                 if self.invariant_checker is not None:
                     self.invariant_checker.after_tick(now + 1)
                 return
 
-        action = self._pending[agent_id]
-        if action is None:
-            program = self._programs[agent_id]
-            if program is not None:
-                try:
-                    action = next(program)
-                except StopIteration:
-                    self._programs[agent_id] = None
-                    action = None
-        if action is not None:
-            if isinstance(action, Move):
-                self._move(agent, action.port)
-                self._pending[agent_id] = None
-            elif isinstance(action, Stay):
-                self._pending[agent_id] = None
-            elif isinstance(action, WaitUntil):
-                if action.predicate():
+        # Program code running below belongs to this activation: any fault
+        # query it makes (agents_at, fault_view) is answered at tick ``now``,
+        # matching the blocked check above.
+        self._cycle_time = now
+        try:
+            action = self._pending[agent_id]
+            if action is None:
+                program = self._programs[agent_id]
+                if program is not None:
+                    try:
+                        action = next(program)
+                    except StopIteration:
+                        self._programs[agent_id] = None
+                        action = None
+            if action is not None:
+                if isinstance(action, Move):
+                    if (
+                        injector is not None
+                        and injector.view(agent_id, now).blocked_for_move
+                    ):
+                        # A mobility-only fault (cycle runs, crossing doesn't):
+                        # defer the Move exactly as a failed WaitUntil defers.
+                        # Crash/freeze never reach here -- they block the whole
+                        # cycle above.
+                        self._pending[agent_id] = action
+                    else:
+                        self._move(agent, action.port)
+                        self._pending[agent_id] = None
+                elif isinstance(action, Stay):
                     self._pending[agent_id] = None
-                else:
-                    self._pending[agent_id] = action
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown action {action!r}")
+                elif isinstance(action, WaitUntil):
+                    if action.predicate():
+                        self._pending[agent_id] = None
+                    else:
+                        self._pending[agent_id] = action
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown action {action!r}")
+        finally:
+            self._cycle_time = None
 
         # Epoch bookkeeping: this agent completed one CCM cycle.
         self._active_this_epoch.add(agent_id)
@@ -231,20 +252,54 @@ class AsyncEngine:
             self.metrics.max_moves_per_agent = count
 
     # ------------------------------------------------------------ observation
+    def _fault_clock(self) -> int:
+        """The tick fault queries are answered at: the executing activation's
+        tick while inside one, else the upcoming activation index."""
+        if self._cycle_time is not None:
+            return self._cycle_time
+        return self.metrics.activations
+
+    def fault_view(self, agent_id: int) -> AgentFaultView:
+        """The agent's :class:`AgentFaultView` at the current fault clock.
+
+        The healthy view when no fault injector is installed; drivers gate
+        their on-behalf-of actions (settling an agent, conscripting it into a
+        group walk) through this instead of reaching into the injector.
+        """
+        if self.fault_injector is None:
+            return AgentFaultView(agent_id=agent_id)
+        return self.fault_injector.view(agent_id, self._fault_clock())
+
     def agents_at(self, node: int) -> List[Agent]:
-        """Agents currently positioned at ``node``."""
-        return [self.agents[a] for a in sorted(self._occupancy[node])]
+        """Agents at ``node`` that participate in communication right now.
+
+        The Communicate-phase query of the v2 fault contract (see
+        :meth:`SyncEngine.agents_at <repro.sim.sync_engine.SyncEngine.agents_at>`):
+        a crashed/frozen agent's body stays on the node but it is invisible to
+        co-located interaction -- it cannot answer probes, be settled, or be
+        instructed while blocked.
+        """
+        present = sorted(self._occupancy[node])
+        injector = self.fault_injector
+        if injector is None:
+            return [self.agents[a] for a in present]
+        now = self._fault_clock()
+        return [self.agents[a] for a in present if not injector.is_blocked(a, now)]
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
-        """The settled agent whose current position is ``node`` (if any)."""
+        """The settled agent at ``node`` that answers probes right now."""
         for agent in self.agents_at(node):
-            if agent.settled:
+            if agent.settled and self.fault_view(agent.agent_id).answers_probes:
                 return agent
         return None
 
     def settled_agents_at(self, node: int) -> List[Agent]:
-        """All settled agents currently positioned at ``node``."""
-        return [a for a in self.agents_at(node) if a.settled]
+        """All settled agents at ``node`` that answer probes right now."""
+        return [
+            a
+            for a in self.agents_at(node)
+            if a.settled and self.fault_view(a.agent_id).answers_probes
+        ]
 
     def positions(self) -> Dict[int, int]:
         """Snapshot of ``agent_id -> node``."""

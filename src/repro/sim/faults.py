@@ -27,15 +27,43 @@ sweep artifacts byte-deterministic.
 
 Time is the engine's native unit: rounds for :class:`~repro.sim.sync_engine.
 SyncEngine`, activations for :class:`~repro.sim.async_engine.AsyncEngine`.
+
+Fault-semantics v2 -- the per-agent contract
+--------------------------------------------
+Both engines consume the same per-agent :class:`AgentFaultView` (the
+adversary/scheduler interface of Aspnes' lecture-notes formulation): a
+crashed or frozen agent is *blocked for its whole CCM cycle*, which entails
+
+* ``blocked_for_cycle`` -- the agent executes no Communicate/Compute step this
+  tick: it cannot settle, cannot be settled by a co-located instructing agent,
+  and is skipped by the engines' co-location (communication) queries;
+* ``blocked_for_move`` -- the agent crosses no edge this tick;
+* ``answers_probes`` -- whether a settled agent is visible to the probe
+  primitives; blocked agents do **not** answer, so a probe of their node
+  observes "no settler" exactly as with a crashed process in the crash-stop
+  model.
+
+The agent's *body* remains on its node (``positions()`` and physical occupancy
+are unaffected); only its participation in the protocol stops.  The
+:class:`~repro.sim.sync_engine.SyncEngine` used to filter moves only -- the v2
+contract makes it skip the entire cycle, matching what
+:meth:`~repro.sim.async_engine.AsyncEngine._activate` always did.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["FaultSpec", "FaultEvent", "FaultInjector", "parse_faults"]
+__all__ = [
+    "FaultSpec",
+    "FaultEvent",
+    "FaultSchedule",
+    "AgentFaultView",
+    "FaultInjector",
+    "parse_faults",
+]
 
 #: Keys accepted in the dict form of a fault profile.
 _SPEC_KEYS = ("crash", "freeze", "freeze_duration", "churn", "horizon")
@@ -179,15 +207,61 @@ class FaultEvent:
     detail: str
 
 
+@dataclass(frozen=True)
+class AgentFaultView:
+    """What one agent may do at one tick -- the engine-facing fault contract.
+
+    Both :meth:`~repro.sim.sync_engine.SyncEngine.step` and
+    :meth:`~repro.sim.async_engine.AsyncEngine._activate` consume this view and
+    nothing else, so the two engines cannot drift apart in what a crashed or
+    frozen agent is allowed to do.  For the crash-stop and freeze models the
+    three capabilities move together (a blocked cycle blocks the move and mutes
+    probe answers); they are kept separate so future fault kinds (e.g. a
+    mobility fault that leaves communication intact) slot into the same
+    contract without touching the engines.
+    """
+
+    agent_id: int
+    blocked_for_cycle: bool = False
+    blocked_for_move: bool = False
+    answers_probes: bool = True
+
+    @property
+    def healthy(self) -> bool:
+        """True when no capability is restricted this tick."""
+        return not self.blocked_for_cycle and not self.blocked_for_move and self.answers_probes
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An explicit (non-probabilistic) crash/freeze schedule.
+
+    Used by tests and the conformance suite to pin *exactly* which agent fails
+    when, instead of deriving the schedule from a seed: ``crash_at`` maps agent
+    id to its crash-stop time, ``freeze_windows`` maps agent id to one
+    ``[start, end)`` inert window.
+    """
+
+    crash_at: Mapping[int, int] = field(default_factory=dict)
+    freeze_windows: Mapping[int, Tuple[int, int]] = field(default_factory=dict)
+
+
 class FaultInjector:
     """Applies a precomputed fault schedule to a running engine.
 
     The engine calls :meth:`begin_tick` once per tick (before executing agent
-    actions) and :meth:`is_blocked` per agent action.  All randomness is
-    consumed at construction, so two injectors built from the same
-    ``(spec, agent_ids, seed)`` behave identically regardless of how the run
-    unfolds -- except churn targets, which are drawn from a dedicated stream at
-    event time because they depend on the graph's current shape.
+    actions), reads :meth:`blocked_cycle_agents` / :meth:`view` to decide which
+    cycles to skip, and reports every skipped cycle via :meth:`record_blocked`.
+    All randomness is consumed at construction, so two injectors built from the
+    same ``(spec, agent_ids, seed)`` behave identically regardless of how the
+    run unfolds -- except churn targets, which are drawn from a dedicated
+    stream at event time because they depend on the graph's current shape.
+
+    The whole schedule is compiled into sorted event cursors up front
+    (:meth:`_compile`), so :meth:`begin_tick` is O(1) amortized over a run --
+    ASYNC executions make hundreds of thousands of ticks against a ~240-tick
+    fault horizon, and the per-tick rescan of every crash/freeze entry this
+    replaces dominated their fault overhead.
     """
 
     def __init__(self, spec: FaultSpec, agent_ids: Sequence[int], seed: int) -> None:
@@ -209,9 +283,6 @@ class FaultInjector:
             else []
         )
         self._churn_rng = random.Random(rng.getrandbits(64))
-        self._next_churn = 0
-        self._crash_announced: set[int] = set()
-        self._freeze_announced: set[int] = set()
         self.events: List[FaultEvent] = []
         self.counts: Dict[str, int] = {
             "crash": 0,
@@ -219,22 +290,112 @@ class FaultInjector:
             "churn": 0,
             "blocked": 0,
         }
+        #: When True, every skipped cycle is kept as an ``(agent_id, time)``
+        #: observation in :attr:`blocked_observations` (off by default: long
+        #: faulty ASYNC runs would otherwise accumulate one tuple per skipped
+        #: activation).  The conformance suite flips this on.
+        self.record_observations = False
+        self.blocked_observations: List[Tuple[int, int]] = []
+        self._compile()
+
+    @classmethod
+    def from_schedule(
+        cls,
+        agent_ids: Sequence[int],
+        crash_at: Optional[Mapping[int, int]] = None,
+        freeze_windows: Optional[Mapping[int, Tuple[int, int]]] = None,
+    ) -> "FaultInjector":
+        """Build an injector from an explicit :class:`FaultSchedule`.
+
+        ``agent_ids`` plays the same role as in the seeded constructor (the
+        population the injector may block); scheduling entries for unknown
+        agents are rejected so a typo cannot silently schedule a no-op fault.
+        """
+        injector = cls(FaultSpec(), agent_ids, seed=0)  # inactive spec: no draws
+        known = set(agent_ids)
+        for agent_id, when in dict(crash_at or {}).items():
+            if agent_id not in known:
+                raise ValueError(f"crash schedule names unknown agent {agent_id}")
+            if when < 0:
+                raise ValueError(f"crash time for agent {agent_id} must be >= 0")
+            injector.crash_at[agent_id] = int(when)
+        for agent_id, (start, end) in dict(freeze_windows or {}).items():
+            if agent_id not in known:
+                raise ValueError(f"freeze schedule names unknown agent {agent_id}")
+            if not (0 <= start < end):
+                raise ValueError(
+                    f"freeze window for agent {agent_id} must satisfy 0 <= start < end"
+                )
+            injector.freeze_window[agent_id] = (int(start), int(end))
+        injector._compile()
+        return injector
+
+    # ------------------------------------------------------------- compilation
+    def _compile(self) -> None:
+        """Build the sorted event cursors from ``crash_at``/``freeze_window``.
+
+        Two streams: *announcements* (one FaultEvent + counter bump per fault,
+        at its start time) and *block transitions* (+1 at crash/freeze start,
+        -1 at thaw) maintaining the currently-blocked set.  Both are consumed
+        by a monotone cursor in :meth:`_advance`; ``is_blocked``/:meth:`view`
+        stay pure point queries over the schedule dicts.
+        """
+        # (time, kind_rank, agent_id, freeze_end): rank keeps the legacy
+        # same-tick order (crashes before freezes, each by agent id).
+        announcements: List[Tuple[int, int, int, int]] = []
+        transitions: List[Tuple[int, int, int]] = []  # (time, delta, agent_id)
+        for agent_id, when in self.crash_at.items():
+            announcements.append((when, 0, agent_id, -1))
+            transitions.append((when, 1, agent_id))
+        for agent_id, (start, end) in self.freeze_window.items():
+            announcements.append((start, 1, agent_id, end))
+            transitions.append((start, 1, agent_id))
+            transitions.append((end, -1, agent_id))
+        self._announcements = sorted(announcements)
+        self._transitions = sorted(transitions)
+        self._next_announcement = 0
+        self._next_transition = 0
+        self._next_churn = 0
+        self._block_depth: Dict[int, int] = {}
+        self._blocked_now: set[int] = set()
+        self._clock = -1
 
     # ------------------------------------------------------------------ ticks
-    def begin_tick(self, time: int, engine: Any) -> None:
-        """Apply all world-level events due at ``time`` (churn, fault logging)."""
-        for agent_id, when in self.crash_at.items():
-            if when <= time and agent_id not in self._crash_announced:
-                self._crash_announced.add(agent_id)
+    def _advance(self, time: int) -> None:
+        """Advance the event cursors to ``time`` (monotone, O(1) amortized)."""
+        if time <= self._clock:
+            return
+        self._clock = time
+        announcements = self._announcements
+        index = self._next_announcement
+        while index < len(announcements) and announcements[index][0] <= time:
+            when, kind_rank, agent_id, end = announcements[index]
+            index += 1
+            if kind_rank == 0:
                 self.counts["crash"] += 1
                 self.events.append(FaultEvent(time, "crash", f"agent {agent_id} crash-stops"))
-        for agent_id, (start, end) in self.freeze_window.items():
-            if start <= time and agent_id not in self._freeze_announced:
-                self._freeze_announced.add(agent_id)
+            else:
                 self.counts["freeze"] += 1
                 self.events.append(
                     FaultEvent(time, "freeze", f"agent {agent_id} frozen until t={end}")
                 )
+        self._next_announcement = index
+        transitions = self._transitions
+        index = self._next_transition
+        while index < len(transitions) and transitions[index][0] <= time:
+            _when, delta, agent_id = transitions[index]
+            index += 1
+            depth = self._block_depth.get(agent_id, 0) + delta
+            self._block_depth[agent_id] = depth
+            if depth > 0:
+                self._blocked_now.add(agent_id)
+            else:
+                self._blocked_now.discard(agent_id)
+        self._next_transition = index
+
+    def begin_tick(self, time: int, engine: Any) -> None:
+        """Apply all world-level events due at ``time`` (churn, fault logging)."""
+        self._advance(time)
         while self._next_churn < len(self.churn_times) and self.churn_times[self._next_churn] <= time:
             self._next_churn += 1
             detail = self._apply_churn(engine.graph)
@@ -242,8 +403,39 @@ class FaultInjector:
                 self.counts["churn"] += 1
                 self.events.append(FaultEvent(time, "churn", detail))
 
+    def blocked_cycle_agents(self, time: int) -> frozenset[int]:
+        """Agents whose whole CCM cycle is suppressed at ``time``.
+
+        Advances the cursors (so it may be called before or after
+        :meth:`begin_tick` for the same tick) and returns a snapshot of the
+        currently-blocked set.  The cursor clock is monotone, so historical
+        queries are rejected rather than mislabeled -- use the pure
+        :meth:`is_blocked` point query for arbitrary times.
+        """
+        if time < self._clock:
+            raise ValueError(
+                f"blocked_cycle_agents({time}) after the cursor advanced to "
+                f"t={self._clock}; use is_blocked() for past-time queries"
+            )
+        self._advance(time)
+        return frozenset(self._blocked_now)
+
+    def view(self, agent_id: int, time: int) -> AgentFaultView:
+        """The :class:`AgentFaultView` for one agent at one tick (pure query)."""
+        blocked = self.is_blocked(agent_id, time)
+        return AgentFaultView(
+            agent_id=agent_id,
+            blocked_for_cycle=blocked,
+            blocked_for_move=blocked,
+            answers_probes=not blocked,
+        )
+
     def is_blocked(self, agent_id: int, time: int) -> bool:
-        """True when the agent may not act at ``time`` (crashed or frozen)."""
+        """True when the agent may not act at ``time`` (crashed or frozen).
+
+        A pure point query over the precomputed schedule -- unlike the cursor
+        state it may be asked about any time, in any order.
+        """
         when = self.crash_at.get(agent_id)
         if when is not None and when <= time:
             return True
@@ -252,21 +444,11 @@ class FaultInjector:
             return True
         return False
 
-    def filter_moves(
-        self, moves: Mapping[int, Optional[int]], time: int
-    ) -> Dict[int, Optional[int]]:
-        """Drop moves of blocked agents, counting each suppression."""
-        allowed: Dict[int, Optional[int]] = {}
-        for agent_id, port in moves.items():
-            if port is not None and self.is_blocked(agent_id, time):
-                self.counts["blocked"] += 1
-            else:
-                allowed[agent_id] = port
-        return allowed
-
-    def count_blocked(self) -> None:
-        """Record one suppressed activation (ASYNC engine)."""
+    def record_blocked(self, agent_id: int, time: int) -> None:
+        """Count one suppressed CCM cycle (both engines report through here)."""
         self.counts["blocked"] += 1
+        if self.record_observations:
+            self.blocked_observations.append((agent_id, time))
 
     # ------------------------------------------------------------------ churn
     def _apply_churn(self, graph: Any) -> Optional[str]:

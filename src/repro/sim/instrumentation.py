@@ -25,9 +25,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.sim.faults import FaultInjector, FaultSpec
+from repro.sim.faults import FaultInjector, FaultSchedule, FaultSpec
 from repro.sim.invariants import InvariantChecker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,6 +46,14 @@ class InstrumentationConfig:
     faults, fault_seed:
         Fault profile and the seed its schedule derives from (``None`` /
         inactive profile disables injection).
+    fault_schedule:
+        Explicit :class:`~repro.sim.faults.FaultSchedule` overriding the
+        seeded draw -- the conformance suite pins exactly which agent fails
+        when, so the SYNC and ASYNC runs of one scenario face the *same*
+        adversary.  Takes precedence over ``faults``.
+    record_fault_observations:
+        When True every injector keeps its ``(agent_id, time)`` blocked
+        observations (see :attr:`FaultInjector.blocked_observations`).
     check_invariants, check_every, strict:
         Invariant-checker construction parameters.
     injectors, checkers:
@@ -56,6 +64,8 @@ class InstrumentationConfig:
 
     faults: Optional[FaultSpec] = None
     fault_seed: int = 0
+    fault_schedule: Optional[FaultSchedule] = None
+    record_fault_observations: bool = False
     check_invariants: bool = False
     check_every: int = 1
     strict: bool = False
@@ -63,9 +73,17 @@ class InstrumentationConfig:
     checkers: List[InvariantChecker] = field(default_factory=list)
 
     def make_injector(self, agent_ids: Sequence[int]) -> Optional[FaultInjector]:
-        if self.faults is None or not self.faults.is_active:
+        if self.fault_schedule is not None:
+            injector = FaultInjector.from_schedule(
+                agent_ids,
+                crash_at=self.fault_schedule.crash_at,
+                freeze_windows=self.fault_schedule.freeze_windows,
+            )
+        elif self.faults is None or not self.faults.is_active:
             return None
-        injector = FaultInjector(self.faults, agent_ids, seed=self.fault_seed)
+        else:
+            injector = FaultInjector(self.faults, agent_ids, seed=self.fault_seed)
+        injector.record_observations = self.record_fault_observations
         self.injectors.append(injector)
         return injector
 
@@ -81,12 +99,30 @@ class InstrumentationConfig:
 
     @property
     def active(self) -> bool:
-        return self.check_invariants or (self.faults is not None and self.faults.is_active)
+        return (
+            self.check_invariants
+            or self.fault_schedule is not None
+            or (self.faults is not None and self.faults.is_active)
+        )
 
     # ------------------------------------------------------------- aggregates
     def fault_events(self) -> int:
         """World-level fault events across every engine run under this config."""
         return sum(injector.total_events for injector in self.injectors)
+
+    def blocked_observations(self) -> List[Tuple[int, int]]:
+        """All ``(agent_id, time)`` blocked observations, in injector order.
+
+        Empty unless ``record_fault_observations`` was set before the run.
+        """
+        merged: List[Tuple[int, int]] = []
+        for injector in self.injectors:
+            merged.extend(injector.blocked_observations)
+        return merged
+
+    def blocked_agents(self) -> Set[int]:
+        """Ids of every agent observed fault-blocked at least once."""
+        return {agent_id for agent_id, _time in self.blocked_observations()}
 
     def violation_count(self) -> int:
         """Invariant violations across every engine run under this config."""

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
 from repro.sim import instrumentation
-from repro.sim.faults import FaultInjector
+from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import RunMetrics
 
@@ -102,9 +102,24 @@ class SyncEngine:
             )
         injector = self.fault_injector
         if injector is not None:
-            injector.begin_tick(self.metrics.rounds, self)
+            now = self.metrics.rounds
+            injector.begin_tick(now, self)
+            blocked = injector.blocked_cycle_agents(now)
+            if blocked:
+                # A crashed/frozen agent skips its *entire* CCM cycle this
+                # round (v2 contract): its move is dropped below, and the
+                # co-location queries already hid it from every Communicate
+                # interaction, so it can neither settle nor answer probes --
+                # exactly as the ASYNC engine skips a blocked activation.
+                for agent_id in sorted(blocked):
+                    if agent_id in self.agents:
+                        injector.record_blocked(agent_id, now)
             if moves:
-                moves = injector.filter_moves(moves, self.metrics.rounds)
+                moves = {
+                    a: p
+                    for a, p in moves.items()
+                    if not injector.view(a, now).blocked_for_move
+                }
         if moves:
             edge = self.graph.move
             occupancy = self._occupancy
@@ -146,18 +161,40 @@ class SyncEngine:
             self.step({})
 
     # ------------------------------------------------------------ observation
+    def fault_view(self, agent_id: int) -> AgentFaultView:
+        """The agent's :class:`AgentFaultView` for the upcoming round.
+
+        The healthy view when no fault injector is installed; drivers gate
+        their on-behalf-of actions (settling an agent, conscripting it into a
+        group move) through this instead of reaching into the injector.
+        """
+        if self.fault_injector is None:
+            return AgentFaultView(agent_id=agent_id)
+        return self.fault_injector.view(agent_id, self.metrics.rounds)
+
     def agents_at(self, node: int) -> List[Agent]:
-        """Agents currently positioned at ``node`` (co-location query)."""
-        return [self.agents[a] for a in sorted(self._occupancy[node])]
+        """Agents at ``node`` that participate in communication this round.
+
+        This is the Communicate-phase query: a crashed/frozen agent's body
+        remains on the node (see :meth:`positions` / :meth:`occupied`) but it
+        executes no cycle, so it is invisible here -- it cannot answer probes,
+        be settled, or be instructed while blocked (v2 fault contract).
+        """
+        present = sorted(self._occupancy[node])
+        injector = self.fault_injector
+        if injector is None:
+            return [self.agents[a] for a in present]
+        now = self.metrics.rounds
+        return [self.agents[a] for a in present if not injector.is_blocked(a, now)]
 
     def occupied(self, node: int) -> bool:
-        """True when at least one agent is at ``node``."""
+        """True when at least one agent body is at ``node`` (physical query)."""
         return bool(self._occupancy[node])
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
-        """The settled agent whose *current position* is ``node`` (if any)."""
+        """The settled agent at ``node`` that answers probes this round."""
         for agent in self.agents_at(node):
-            if agent.settled:
+            if agent.settled and self.fault_view(agent.agent_id).answers_probes:
                 return agent
         return None
 

@@ -1,0 +1,62 @@
+"""Brute-force reference implementation of the fault injector's timeline.
+
+``RescanFaultInjector`` reproduces the *v1* ``FaultInjector.begin_tick``
+semantics exactly as shipped before the event-cursor rewrite: every tick it
+rescans every crash and freeze entry to announce due events, and the blocked
+set is recomputed from scratch per query.  It is deliberately O(agents) per
+tick -- the property suite uses it as the oracle the cursor-based injector
+must match observation-for-observation, and the benchmark uses it as the
+baseline the cursors must beat on long-horizon ASYNC tick counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+
+class RescanFaultInjector:
+    """Per-tick rescan oracle over an explicit crash/freeze schedule."""
+
+    def __init__(
+        self,
+        crash_at: Mapping[int, int],
+        freeze_window: Mapping[int, Tuple[int, int]],
+    ) -> None:
+        self.crash_at: Dict[int, int] = dict(crash_at)
+        self.freeze_window: Dict[int, Tuple[int, int]] = dict(freeze_window)
+        self._crash_announced: set[int] = set()
+        self._freeze_announced: set[int] = set()
+        self.counts: Dict[str, int] = {"crash": 0, "freeze": 0}
+        self.events: List[Tuple[int, str, int]] = []  # (tick, kind, agent_id)
+
+    def begin_tick(self, time: int) -> None:
+        """The v1 announcement loop: full rescan of both schedule dicts."""
+        for agent_id, when in self.crash_at.items():
+            if when <= time and agent_id not in self._crash_announced:
+                self._crash_announced.add(agent_id)
+                self.counts["crash"] += 1
+                self.events.append((time, "crash", agent_id))
+        for agent_id, (start, _end) in self.freeze_window.items():
+            if start <= time and agent_id not in self._freeze_announced:
+                self._freeze_announced.add(agent_id)
+                self.counts["freeze"] += 1
+                self.events.append((time, "freeze", agent_id))
+
+    def is_blocked(self, agent_id: int, time: int) -> bool:
+        when = self.crash_at.get(agent_id)
+        if when is not None and when <= time:
+            return True
+        window = self.freeze_window.get(agent_id)
+        if window is not None and window[0] <= time < window[1]:
+            return True
+        return False
+
+    def blocked_at(self, time: int) -> FrozenSet[int]:
+        """Recompute the blocked set from scratch (the O(agents) scan)."""
+        blocked = {a for a, when in self.crash_at.items() if when <= time}
+        blocked.update(
+            a
+            for a, (start, end) in self.freeze_window.items()
+            if start <= time < end
+        )
+        return frozenset(blocked)

@@ -1,0 +1,176 @@
+"""Property tests for the event-cursor fault scheduler (fault-semantics v2).
+
+The v2 :class:`~repro.sim.faults.FaultInjector` compiles its crash/freeze
+schedule into sorted event cursors so ``begin_tick`` is O(1) amortized.  These
+properties pin the rewrite to the brute-force per-tick rescan semantics of the
+v1 injector (:class:`tests.fault_reference.RescanFaultInjector`): for random
+fault specs, seeds, and horizons -- including tick sequences with gaps, as the
+engines produce when queried out of lockstep -- the cursor-based injector must
+yield the identical blocked/unblocked timeline, announcement counts, and event
+stream.
+
+Uses Hypothesis when installed; otherwise the same properties run over a
+seeded random sweep of equal size (the ``std-random`` fallback used across
+this suite).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.faults import AgentFaultView, FaultInjector, FaultSpec
+
+from tests.fault_reference import RescanFaultInjector
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+CASES = 60
+
+
+def arbitrary_cases(**ranges):
+    """Drive a test from Hypothesis, or from a seeded sweep without it."""
+
+    def decorate(fn):
+        if HAVE_HYPOTHESIS:
+            strategies = {
+                name: st.integers(low, high) for name, (low, high) in ranges.items()
+            }
+            wrapped = given(**strategies)(fn)
+            return settings(
+                max_examples=CASES,
+                deadline=None,
+                suppress_health_check=[HealthCheck.too_slow],
+            )(wrapped)
+
+        def sweep():
+            rng = random.Random(0xFA17C0DE)
+            for _ in range(CASES):
+                fn(**{name: rng.randint(low, high) for name, (low, high) in ranges.items()})
+
+        sweep.__name__ = fn.__name__
+        sweep.__doc__ = fn.__doc__
+        return sweep
+
+    return decorate
+
+
+def _make_pair(seed: int, agents: int, crash_pct: int, freeze_pct: int,
+               duration: int, horizon: int):
+    """A cursor injector and its rescan oracle over one random schedule."""
+    spec = FaultSpec(
+        crash=crash_pct / 100.0,
+        freeze=freeze_pct / 100.0,
+        freeze_duration=duration,
+        horizon=horizon,
+    )
+    agent_ids = list(range(1, agents + 1))
+    injector = FaultInjector(spec, agent_ids, seed=seed)
+    reference = RescanFaultInjector(injector.crash_at, injector.freeze_window)
+    return injector, reference, agent_ids
+
+
+def _tick_sequence(seed: int, horizon: int):
+    """A monotone tick sequence with random gaps past the fault horizon."""
+    rng = random.Random(seed ^ 0x5E)
+    ticks = []
+    t = 0
+    limit = 2 * horizon + 20
+    while t < limit:
+        ticks.append(t)
+        t += rng.choice((1, 1, 1, 2, 3, 7))
+    return ticks
+
+
+@arbitrary_cases(seed=(0, 10_000), agents=(1, 24), crash_pct=(0, 100),
+                 freeze_pct=(0, 100), duration=(1, 60), horizon=(1, 120))
+def test_cursor_blocked_timeline_matches_rescan_reference(
+    seed, agents, crash_pct, freeze_pct, duration, horizon
+):
+    injector, reference, agent_ids = _make_pair(
+        seed, agents, crash_pct, freeze_pct, duration, horizon
+    )
+    for t in _tick_sequence(seed, horizon):
+        injector.begin_tick(t, None)
+        reference.begin_tick(t)
+        assert injector.blocked_cycle_agents(t) == reference.blocked_at(t)
+        for agent_id in agent_ids:
+            expected = reference.is_blocked(agent_id, t)
+            assert injector.is_blocked(agent_id, t) == expected
+            view = injector.view(agent_id, t)
+            assert view == AgentFaultView(
+                agent_id=agent_id,
+                blocked_for_cycle=expected,
+                blocked_for_move=expected,
+                answers_probes=not expected,
+            )
+    assert injector.counts["crash"] == reference.counts["crash"]
+    assert injector.counts["freeze"] == reference.counts["freeze"]
+    observed = {(e.time, e.kind, _agent_of(e.detail)) for e in injector.events}
+    assert observed == set(reference.events)
+
+
+def _agent_of(detail: str) -> int:
+    # "agent N crash-stops" / "agent N frozen until t=E"
+    return int(detail.split()[1])
+
+
+@arbitrary_cases(seed=(0, 10_000), agents=(1, 16), crash_pct=(0, 100),
+                 freeze_pct=(0, 100), duration=(1, 40), horizon=(1, 80))
+def test_explicit_schedule_replays_the_seeded_schedule(
+    seed, agents, crash_pct, freeze_pct, duration, horizon
+):
+    """``from_schedule`` over a drawn schedule is indistinguishable from it."""
+    injector, _reference, agent_ids = _make_pair(
+        seed, agents, crash_pct, freeze_pct, duration, horizon
+    )
+    replay = FaultInjector.from_schedule(
+        agent_ids, crash_at=injector.crash_at, freeze_windows=injector.freeze_window
+    )
+    for t in range(2 * horizon + 5):
+        injector.begin_tick(t, None)
+        replay.begin_tick(t, None)
+        assert injector.blocked_cycle_agents(t) == replay.blocked_cycle_agents(t)
+    assert injector.counts["crash"] == replay.counts["crash"]
+    assert injector.counts["freeze"] == replay.counts["freeze"]
+
+
+def test_blocked_observations_are_recorded_only_when_enabled():
+    injector = FaultInjector.from_schedule([1, 2], crash_at={1: 0})
+    injector.record_blocked(1, 0)
+    assert injector.counts["blocked"] == 1 and injector.blocked_observations == []
+    injector.record_observations = True
+    injector.record_blocked(1, 1)
+    injector.record_blocked(1, 3)
+    assert injector.blocked_observations == [(1, 1), (1, 3)]
+    assert injector.counts["blocked"] == 3
+
+
+def test_blocked_cycle_agents_rejects_past_time_queries():
+    import pytest
+
+    injector = FaultInjector.from_schedule([1], crash_at={1: 50})
+    injector.begin_tick(100, None)
+    with pytest.raises(ValueError, match="past-time"):
+        injector.blocked_cycle_agents(5)
+    # The pure point query stays valid for any time.
+    assert not injector.is_blocked(1, 5)
+    assert injector.is_blocked(1, 99)
+
+
+def test_from_schedule_rejects_malformed_entries():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown agent"):
+        FaultInjector.from_schedule([1, 2], crash_at={3: 0})
+    with pytest.raises(ValueError, match="unknown agent"):
+        FaultInjector.from_schedule([1, 2], freeze_windows={9: (0, 5)})
+    with pytest.raises(ValueError, match=">= 0"):
+        FaultInjector.from_schedule([1], crash_at={1: -2})
+    with pytest.raises(ValueError, match="start < end"):
+        FaultInjector.from_schedule([1], freeze_windows={1: (5, 5)})

@@ -1,0 +1,140 @@
+"""Golden-record regression fixture for the fault-semantics v2 change.
+
+``tests/fixtures/fault_sweep_pre_v2.json`` is a checked-in sweep artifact
+produced by the *pre-v2* code (SYNC engine filtering moves only, crashed
+agents still settling and answering probes).  Re-running the same sweeps
+today and diffing against it demonstrates the store-invalidation story of
+the ``code_version`` bump end to end:
+
+* ``repro db diff`` flags **exactly** the SYNC algorithms' fault records as
+  changed -- no ASYNC record and no fault-free record moved;
+* a store populated with the pre-bump records re-executes exactly the SYNC
+  jobs on the next sweep (their fingerprints now embed ``code_version="2"``)
+  while every ASYNC job is served from cache;
+* ``RunStore.gc`` collects exactly the stale SYNC rows.
+
+The fixture's sweeps are rebuilt here (not loaded from the artifact
+envelope) so the golden test stays a faithful re-execution recipe.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.runner import artifacts
+from repro.runner.registry import get_algorithm
+from repro.runner.scenario import ScenarioSpec
+from repro.runner.sweep import SweepSpec, run_sweep
+from repro.store.cache import plan_sweep
+from repro.store.db import RunStore
+from repro.store.diff import diff_paths, load_side
+from repro.store.fingerprint import run_fingerprint
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "fault_sweep_pre_v2.json")
+
+#: Every SYNC algorithm in the registry -- the v2 whole-cycle skip changes
+#: their fault records, so each must show changed records against the fixture.
+SYNC_ALGORITHMS = ("general_sync", "naive_dfs", "random_walk", "rooted_sync", "sudo_disc24")
+#: ASYNC algorithms are bumped too (their co-location queries now hide blocked
+#: agents), but the ASYNC engine always skipped blocked cycles -- the fixture's
+#: profiles demonstrate their record *content* does not move.
+ASYNC_ALGORITHMS = ("general_async", "ks_opodis21", "rooted_async")
+
+
+def golden_sweeps() -> list[SweepSpec]:
+    """The two sweeps the fixture artifact was generated from.
+
+    The crash sweep covers every algorithm (ASYNC crash runs abort the same
+    way before and after v2, so their records pin the "no ASYNC change"
+    half); the freeze sweep is SYNC-only, chosen so that each of the five
+    SYNC algorithms has at least one record the v2 semantics change.
+    """
+    crash = SweepSpec.from_grid(
+        name="fault-v2-golden-crash",
+        algorithms=sorted(SYNC_ALGORITHMS + ASYNC_ALGORITHMS),
+        graphs=[
+            {"family": "erdos_renyi", "params": {"n": 16, "p": 0.3}},
+            {"family": "ring", "params": {"n": 16}},
+        ],
+        ks=[8],
+        seeds=[0],
+    ).with_profiles([{}, {"crash": 0.5, "horizon": 40}], check_invariants=True)
+    freeze = SweepSpec.from_grid(
+        name="fault-v2-golden-freeze",
+        algorithms=list(SYNC_ALGORITHMS),
+        graphs=[
+            {"family": "line", "params": {"n": 14}},
+            {"family": "ring", "params": {"n": 16}},
+        ],
+        ks=[8],
+        seeds=[0],
+    ).with_profiles(
+        [{"freeze": 0.9, "freeze_duration": 60, "horizon": 40}], check_invariants=True
+    )
+    return [crash, freeze]
+
+
+def golden_records():
+    records = []
+    for sweep in golden_sweeps():
+        records.extend(run_sweep(sweep, workers=2))
+    return records
+
+
+def test_db_diff_flags_exactly_the_sync_fault_records(tmp_path):
+    live_path = str(tmp_path / "fault_sweep_live.json")
+    artifacts.write_json(golden_records(), live_path)
+
+    result = diff_paths(FIXTURE, live_path)
+    assert not result.only_old and not result.only_new  # same run identities
+
+    changed_algorithms = {change.algorithm for change in result.changed}
+    assert changed_algorithms == set(SYNC_ALGORITHMS)
+
+    # Fault-free records are byte-identical: the v2 engine contract is pure
+    # refactor when no injector is active.
+    old_side, new_side = load_side(FIXTURE), load_side(live_path)
+    for key, old_record in old_side.items():
+        scenario = ScenarioSpec.from_dict(old_record.scenario)
+        if not scenario.faults:
+            assert artifacts.canonical_record_json(old_record) == (
+                artifacts.canonical_record_json(new_side[key])
+            ), f"fault-free record changed: {key}"
+        if old_record.algorithm in ASYNC_ALGORITHMS:
+            for field in ("status", "dispersed", "time", "total_moves",
+                          "invariant_violations"):
+                assert getattr(old_record, field) == getattr(new_side[key], field), (
+                    f"ASYNC record moved: {key} {field}"
+                )
+
+
+def test_code_version_bump_invalidates_the_pre_v2_cache(tmp_path):
+    """A store of pre-bump records is fully re-executed, and GC collects it.
+
+    Every algorithm that runs on the reworked engines carries the v2 bump (the
+    SYNC ones because their whole-cycle skip changes record bytes, the ASYNC
+    ones because fault-time probe visibility changed engine-side), so a
+    pre-v2 store yields zero cache hits; the diff test above is what proves
+    that only the SYNC outputs actually moved.  Per-algorithm granularity of
+    the invalidation is covered by ``tests/test_store.py``.
+    """
+    fixture_records = load_side(FIXTURE).values()
+    with RunStore(str(tmp_path / "pre_bump.sqlite")) as store:
+        for record in fixture_records:
+            scenario = ScenarioSpec.from_dict(record.scenario)
+            fingerprint = run_fingerprint(record.algorithm, scenario, code_version="1")
+            store.put(fingerprint, record, code_version="1")
+
+        for sweep in golden_sweeps():
+            plan = plan_sweep(sweep, store)
+            assert plan.hits == 0
+            assert len(plan.pending) == len(plan.jobs)
+
+        stats = store.gc()
+        assert stats.unregistered == 0
+        assert stats.stale_version == len(list(fixture_records))
+        assert store.count() == 0
+
+    # Sanity: the bump really is in the registry for every algorithm.
+    for name in SYNC_ALGORITHMS + ASYNC_ALGORITHMS:
+        assert get_algorithm(name).code_version == "2"

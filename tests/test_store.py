@@ -73,7 +73,7 @@ def test_fingerprint_covers_every_run_determining_field(variant):
 def test_fingerprint_distinguishes_algorithm_and_code_version():
     base = run_fingerprint("rooted_sync", SPEC)
     assert run_fingerprint("naive_dfs", SPEC) != base
-    assert run_fingerprint("rooted_sync", SPEC, code_version="2") != base
+    assert run_fingerprint("rooted_sync", SPEC, code_version="v-next") != base
 
 
 # ------------------------------------------------------------ put/get/query
@@ -171,7 +171,7 @@ def test_version_bump_invalidates_exactly_that_algorithm(store, monkeypatch):
     run_sweep(sweep, store=store)
     spec = registry.get_algorithm("rooted_sync")
     monkeypatch.setitem(
-        registry._REGISTRY, "rooted_sync", dataclasses.replace(spec, code_version="2")
+        registry._REGISTRY, "rooted_sync", dataclasses.replace(spec, code_version="v-next")
     )
     plan = plan_sweep(sweep, store)
     stale = [plan.jobs[i][0] for i in plan.pending]
@@ -183,7 +183,7 @@ def test_gc_drops_stale_versions_only(store, monkeypatch):
     run_sweep(small_sweep(), store=store)
     spec = registry.get_algorithm("rooted_sync")
     monkeypatch.setitem(
-        registry._REGISTRY, "rooted_sync", dataclasses.replace(spec, code_version="2")
+        registry._REGISTRY, "rooted_sync", dataclasses.replace(spec, code_version="v-next")
     )
     preview = store.gc(dry_run=True)
     assert preview.stale_version == 2 and store.count() == 4  # dry run deletes nothing
