@@ -120,6 +120,223 @@ def test_engine_round_counters_unchanged_by_fast_path():
     assert a1.to_dict() == a2.to_dict()
 
 
+class _SeedSyncEngine:
+    """Distilled pre-kernel ``SyncEngine`` hot loop (fault-free fast path).
+
+    A faithful inline copy of the seed engine's ``step``: per-engine occupancy
+    list, validate-then-vacate-then-apply batch, inline move accounting.  The
+    kernel facades must stay within 10% of this on round throughput.
+    """
+
+    def __init__(self, graph, agents):
+        self.graph = graph
+        self.agents = {a.agent_id: a for a in agents}
+        self._occupancy = [set() for _ in range(graph.num_nodes)]
+        for agent in self.agents.values():
+            self._occupancy[agent.position].add(agent.agent_id)
+        self.rounds = 0
+        self.total_moves = 0
+        self.max_moves_per_agent = 0
+        self._moves_per_agent = {}
+
+    def step(self, moves):
+        if moves:
+            edge = self.graph.move
+            occupancy = self._occupancy
+            planned = []
+            for agent_id, port in moves.items():
+                if port is None:
+                    continue
+                agent = self.agents[agent_id]
+                dst, rev = edge(agent.position, port)
+                planned.append((agent, dst, rev))
+            for agent, _dst, _rev in planned:
+                occupancy[agent.position].discard(agent.agent_id)
+            moves_per_agent = self._moves_per_agent
+            max_moves = self.max_moves_per_agent
+            for agent, dst, rev in planned:
+                agent.arrive(dst, rev)
+                occupancy[dst].add(agent.agent_id)
+                count = moves_per_agent.get(agent.agent_id, 0) + 1
+                moves_per_agent[agent.agent_id] = count
+                if count > max_moves:
+                    max_moves = count
+            self.total_moves += len(planned)
+            self.max_moves_per_agent = max_moves
+        self.rounds += 1
+
+
+class _SeedAsyncEngine:
+    """Distilled pre-kernel ``AsyncEngine`` hot loop (fault-free fast path).
+
+    Covers exactly what the activation throughput benchmark drives: program
+    advance, Move/Stay dispatch, inline `_move`, epoch bookkeeping.
+    """
+
+    def __init__(self, graph, agents):
+        from repro.sim.async_engine import Move as _Move
+
+        self._Move = _Move
+        self.graph = graph
+        self.agents = {a.agent_id: a for a in agents}
+        self._occupancy = [set() for _ in range(graph.num_nodes)]
+        for agent in self.agents.values():
+            self._occupancy[agent.position].add(agent.agent_id)
+        self.activations = 0
+        self.epochs = 0
+        self.total_moves = 0
+        self.max_moves_per_agent = 0
+        self._moves_per_agent = {}
+        self._programs = {a: None for a in self.agents}
+        self._pending = {a: None for a in self.agents}
+        self._active_this_epoch = set()
+
+    def assign(self, agent_id, program):
+        self._programs[agent_id] = program
+        self._pending[agent_id] = None
+
+    def _move(self, agent, port):
+        dst, rev = self.graph.move(agent.position, port)
+        self._occupancy[agent.position].discard(agent.agent_id)
+        agent.arrive(dst, rev)
+        self._occupancy[dst].add(agent.agent_id)
+        self.total_moves += 1
+        count = self._moves_per_agent.get(agent.agent_id, 0) + 1
+        self._moves_per_agent[agent.agent_id] = count
+        if count > self.max_moves_per_agent:
+            self.max_moves_per_agent = count
+
+    def activate(self, agent_id):
+        agent = self.agents[agent_id]
+        self.activations += 1
+        action = self._pending[agent_id]
+        if action is None:
+            program = self._programs[agent_id]
+            if program is not None:
+                try:
+                    action = next(program)
+                except StopIteration:
+                    self._programs[agent_id] = None
+                    action = None
+        if action is not None:
+            if isinstance(action, self._Move):
+                self._move(agent, action.port)
+            self._pending[agent_id] = None
+        self._active_this_epoch.add(agent_id)
+        if len(self._active_this_epoch) == len(self.agents):
+            self.epochs += 1
+            self._active_this_epoch.clear()
+
+
+def _best_time(fn, repeats=5):
+    """Best-of-N wall clock: robust to scheduler noise on shared CI runners."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _sync_workload(engine_cls, rounds=400, k=40):
+    """k agents random-walking for ``rounds`` lockstep rounds.
+
+    Port choices derive from a per-run RNG over the evolving positions; both
+    engine classes evolve identically, so the measured work is equal.
+    """
+    graph = generators.erdos_renyi(80, 0.08, seed=3)
+    model = MemoryModel(k=k, max_degree=graph.max_degree)
+    agents = [Agent(i, (7 * i) % graph.num_nodes, model) for i in range(1, k + 1)]
+    engine = engine_cls(graph, agents)
+    rng = random.Random(17)
+    degree = graph.degree
+    for _ in range(rounds):
+        moves = {
+            a.agent_id: rng.randrange(degree(a.position)) + 1
+            for a in agents
+            if rng.random() < 0.7
+        }
+        engine.step(moves)
+    return engine
+
+
+def _async_workload(engine_cls, activations=16_000, k=40):
+    """Round-robin activations of agents running endless Move/Stay programs."""
+    from repro.sim.async_engine import Move, Stay
+
+    graph = generators.erdos_renyi(80, 0.08, seed=3)
+    model = MemoryModel(k=k, max_degree=graph.max_degree)
+    agents = [Agent(i, (7 * i) % graph.num_nodes, model) for i in range(1, k + 1)]
+    if engine_cls is _SeedAsyncEngine:
+        engine = engine_cls(graph, agents)
+        activate = engine.activate
+    else:
+        from repro.sim.adversary import RoundRobinAdversary
+
+        engine = engine_cls(graph, agents, adversary=RoundRobinAdversary())
+        activate = engine._activate
+
+    def walker(agent, seed):
+        rng = random.Random(seed)
+        while True:
+            if rng.random() < 0.7:
+                yield Move(rng.randrange(graph.degree(agent.position)) + 1)
+            else:
+                yield Stay()
+
+    for agent in agents:
+        engine.assign(agent.agent_id, walker(agent, agent.agent_id))
+    ids = [a.agent_id for a in agents]
+    for i in range(activations):
+        activate(ids[i % k])
+    return engine
+
+
+def test_kernel_sync_round_throughput_within_10pct_of_seed():
+    """The kernel facade may not cost more than 10% SYNC round throughput.
+
+    The baseline is a faithful distillation of the pre-refactor engine's
+    fault-free ``step`` (the seed's hot loop); a small absolute epsilon keeps
+    timer noise from failing sub-millisecond deltas.
+    """
+    # Equal-work sanity before timing anything.
+    seed_engine = _sync_workload(_SeedSyncEngine)
+    kernel_engine = _sync_workload(SyncEngine)
+    assert kernel_engine.metrics.total_moves == seed_engine.total_moves
+    assert kernel_engine.positions() == {
+        a.agent_id: a.position for a in seed_engine.agents.values()
+    }
+
+    seed_time = _best_time(lambda: _sync_workload(_SeedSyncEngine))
+    kernel_time = _best_time(lambda: _sync_workload(SyncEngine))
+    assert kernel_time <= seed_time * 1.10 + 0.010, (
+        f"SYNC rounds regressed: kernel {kernel_time:.4f}s vs seed "
+        f"{seed_time:.4f}s (>{seed_time * 1.10 + 0.010:.4f}s budget)"
+    )
+
+
+def test_kernel_async_activation_throughput_within_10pct_of_seed():
+    """The kernel facade may not cost more than 10% ASYNC activation throughput."""
+    from repro.sim.async_engine import AsyncEngine
+
+    seed_engine = _async_workload(_SeedAsyncEngine)
+    kernel_engine = _async_workload(AsyncEngine)
+    assert kernel_engine.metrics.total_moves == seed_engine.total_moves
+    assert kernel_engine.metrics.epochs == seed_engine.epochs
+    assert kernel_engine.positions() == {
+        a.agent_id: a.position for a in seed_engine.agents.values()
+    }
+
+    seed_time = _best_time(lambda: _async_workload(_SeedAsyncEngine))
+    kernel_time = _best_time(lambda: _async_workload(AsyncEngine))
+    assert kernel_time <= seed_time * 1.10 + 0.010, (
+        f"ASYNC activations regressed: kernel {kernel_time:.4f}s vs seed "
+        f"{seed_time:.4f}s (>{seed_time * 1.10 + 0.010:.4f}s budget)"
+    )
+
+
 def test_wallclock_edge_crossing_sweep(benchmark):
     graph = generators.erdos_renyi(300, 0.05, seed=9)
 

@@ -35,12 +35,15 @@ from repro.runner.scenario import (
     ADVERSARIES,
     GRAPH_FAMILIES,
     PLACEMENTS,
+    SCHEDULERS,
     ScenarioSpec,
     build_adversary,
     build_graph,
     build_instrumentation,
     build_placements,
+    build_scheduler,
     derive_fault_seed,
+    derive_scheduler_seed,
     derive_seed,
 )
 from repro.runner.execute import RunRecord, run_scenario
@@ -68,12 +71,15 @@ __all__ = [
     "ADVERSARIES",
     "GRAPH_FAMILIES",
     "PLACEMENTS",
+    "SCHEDULERS",
     "ScenarioSpec",
     "build_adversary",
     "build_graph",
     "build_instrumentation",
     "build_placements",
+    "build_scheduler",
     "derive_fault_seed",
+    "derive_scheduler_seed",
     "derive_seed",
     "RunRecord",
     "run_scenario",

@@ -88,6 +88,8 @@ _CSV_SCENARIO_FIELDS = (
     "start_node",
     "adversary",
     "adversary_params",
+    "scheduler",
+    "scheduler_params",
     "seed",
     "faults",
     "check_invariants",

@@ -30,7 +30,10 @@ Examples
     repro run --algorithm rooted_sync --family complete --param n=32 --k 32
     repro run --algorithm rooted_sync --family ring --param n=24 --k 16 \\
         --faults crash:0.1 --check-invariants
+    repro run --algorithm rooted_async --family ring --param n=24 --k 16 \\
+        --scheduler semi-sync:0.25
     repro sweep --smoke --workers 2 --out artifacts/smoke.json
+    repro sweep --smoke --scheduler bounded-delay:2 --out artifacts/bd.json
     repro sweep --smoke --algorithms paper --check-invariants \\
         --faults none --faults crash:0.1,freeze:0.1:60 --out artifacts/faults.json
     repro sweep --spec myspec.json --out artifacts/mysweep.json --csv artifacts/mysweep.csv
@@ -59,7 +62,13 @@ from repro.runner.registry import (
     get_algorithm,
     list_algorithms,
 )
-from repro.runner.scenario import ADVERSARIES, GRAPH_FAMILIES, PLACEMENTS, ScenarioSpec
+from repro.runner.scenario import (
+    ADVERSARIES,
+    GRAPH_FAMILIES,
+    PLACEMENTS,
+    SCHEDULERS,
+    ScenarioSpec,
+)
 from repro.runner.sweep import SweepSpec, run_sweep, smoke_sweep
 from repro.sim.faults import parse_faults
 
@@ -85,6 +94,48 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
                 value = raw
         params[name] = value
     return params
+
+
+def _parse_scheduler(text: str) -> tuple:
+    """Parse ``--scheduler NAME[:PARAM]`` into ``(name, params)``.
+
+    The optional suffix is the discipline's headline knob: the activation
+    probability for ``semi-sync`` (``semi-sync:0.25``) and the delay factor
+    for ``bounded-delay`` (``bounded-delay:3`` bounds every agent's
+    inattention by ``3 * k`` activations).
+    """
+    name, sep, raw = text.partition(":")
+    if name not in SCHEDULERS:
+        raise argparse.ArgumentTypeError(
+            f"unknown scheduler {name!r}; known: {list(SCHEDULERS)}"
+        )
+    if not sep:
+        return name, {}
+    if name == "semi-sync":
+        try:
+            p = float(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--scheduler semi-sync:P expects a float probability, got {raw!r}"
+            ) from None
+        if not (0.0 < p <= 1.0):
+            raise argparse.ArgumentTypeError(
+                f"--scheduler semi-sync:P expects P in (0, 1], got {p}"
+            )
+        return name, {"p": p}
+    if name == "bounded-delay":
+        try:
+            delay_factor = int(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--scheduler bounded-delay:K expects an int delay factor, got {raw!r}"
+            ) from None
+        if delay_factor < 1:
+            raise argparse.ArgumentTypeError(
+                f"--scheduler bounded-delay:K expects K >= 1, got {delay_factor}"
+            )
+        return name, {"delay_factor": delay_factor}
+    raise argparse.ArgumentTypeError(f"scheduler {name!r} takes no parameter")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--start-node", type=int, default=0)
     run_p.add_argument("--adversary", default="round_robin", choices=list(ADVERSARIES))
     run_p.add_argument(
+        "--scheduler",
+        default="async",
+        metavar="NAME[:PARAM]",
+        help="synchrony discipline for ASYNC-capable algorithms: async "
+        "(default; --adversary picks the policy), lockstep, semi-sync[:p], "
+        "bounded-delay[:factor]",
+    )
+    run_p.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -153,6 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the invariant checker to every run; violations in "
         "fault-free profiles fail the sweep",
+    )
+    sweep_p.add_argument(
+        "--scheduler",
+        default=None,
+        metavar="NAME[:PARAM]",
+        help="run every scenario under this synchrony discipline (lockstep, "
+        "semi-sync[:p], bounded-delay[:factor]); SYNC algorithms drop out of "
+        "the grid, the world seeds stay those of the classic sweep",
     )
     sweep_p.add_argument(
         "--algorithms",
@@ -246,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    scheduler, scheduler_params = _parse_scheduler(args.scheduler)
     scenario = ScenarioSpec(
         family=args.family,
         params=_parse_params(args.param),
@@ -255,6 +323,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         placement_parts=args.parts,
         start_node=args.start_node,
         adversary=args.adversary,
+        scheduler=scheduler,
+        scheduler_params=scheduler_params,
         seed=args.seed,
         faults=parse_faults(args.faults) if args.faults is not None else {},
         check_invariants=args.check_invariants,
@@ -357,6 +427,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         raise ValueError("--resume needs --store: the store is what it resumes from")
     sweep = smoke_sweep() if args.smoke else _load_sweep_spec(args.spec)
+    if args.scheduler:
+        scheduler, scheduler_params = _parse_scheduler(args.scheduler)
+        sweep = sweep.with_scheduler(scheduler, scheduler_params)
     if args.algorithms:
         sweep = sweep.filter_algorithms(_parse_algorithm_names(args.algorithms))
     profiles = [parse_faults(text) for text in args.faults]

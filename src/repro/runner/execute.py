@@ -15,10 +15,10 @@ from typing import Any, Dict, Mapping, Optional
 from repro.runner.registry import AlgorithmSpec, get_algorithm, supports
 from repro.runner.scenario import (
     ScenarioSpec,
-    build_adversary,
     build_graph,
     build_instrumentation,
     build_placements,
+    build_scheduler,
     derive_seed,
 )
 from repro.sim.instrumentation import InstrumentationConfig, instrument
@@ -104,7 +104,15 @@ def run_scenario(
                 f"{len(placements)} start nodes"
             )
             return record
-        adversary = build_adversary(scenario) if spec.setting == "async" else None
+        if not spec.supports_scheduler(scenario.scheduler):
+            record.status = "unsupported"
+            record.error = (
+                f"{spec.name} is a SYNC algorithm (lockstep by construction); "
+                f"the {scenario.scheduler!r} scheduler applies to ASYNC-capable "
+                "algorithms only"
+            )
+            return record
+        adversary = build_scheduler(scenario) if spec.setting == "async" else None
         with instrument(config):
             result = spec.run(
                 graph,

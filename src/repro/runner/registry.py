@@ -86,6 +86,18 @@ class AlgorithmSpec:
     def time_unit(self) -> str:
         return "rounds" if self.setting == "sync" else "epochs"
 
+    def supports_scheduler(self, scheduler: str) -> bool:
+        """Whether the algorithm can run under this synchrony discipline.
+
+        ASYNC-capable algorithms accept every scheduler: their correctness
+        holds against arbitrary fair activation orders, of which lockstep,
+        semi-synchronous, and bounded-delay schedules are restrictions.  SYNC
+        algorithms run lockstep *by construction* (their drivers call
+        ``SyncEngine.step``), so only the classic default applies -- asking
+        for another discipline is an unsupported pairing, not a silent no-op.
+        """
+        return self.setting == "async" or scheduler == "async"
+
     @property
     def is_paper(self) -> bool:
         """True for the paper's own algorithms (vs. comparison baselines)."""

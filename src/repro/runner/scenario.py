@@ -22,9 +22,12 @@ from repro.graph.port_graph import PortAssignment, PortLabeledGraph
 from repro.sim.adversary import (
     AdaptiveCollisionAdversary,
     Adversary,
+    BoundedDelayScheduler,
     LazySettlerAdversary,
+    LockstepScheduler,
     RandomAdversary,
     RoundRobinAdversary,
+    SemiSyncScheduler,
     StarvationAdversary,
 )
 from repro.sim.faults import FaultSpec
@@ -33,12 +36,15 @@ from repro.sim.instrumentation import InstrumentationConfig
 __all__ = [
     "GRAPH_FAMILIES",
     "ADVERSARIES",
+    "SCHEDULERS",
     "PLACEMENTS",
     "ScenarioSpec",
     "derive_seed",
     "derive_fault_seed",
+    "derive_scheduler_seed",
     "build_graph",
     "build_adversary",
+    "build_scheduler",
     "build_placements",
     "build_instrumentation",
 ]
@@ -63,8 +69,14 @@ GRAPH_FAMILIES: Dict[str, Any] = {
     "lollipop": generators.lollipop,
 }
 
-#: Adversary policies a spec may name (ASYNC runs only).
+#: Adversary policies a spec may name (fully asynchronous runs only).
 ADVERSARIES = ("round_robin", "random", "starvation", "adaptive_collision", "lazy_settler")
+
+#: Synchrony-spectrum scheduling disciplines a spec may name.  ``"async"`` is
+#: the classic fully asynchronous setting, in which the ``adversary`` field
+#: picks the activation policy; the other disciplines *replace* the adversary
+#: with a synchrony-restricted scheduler from :mod:`repro.sim.adversary`.
+SCHEDULERS = ("async", "lockstep", "semi-sync", "bounded-delay")
 
 #: Initial-placement policies: ``rooted`` puts all k agents on ``start_node``;
 #: ``split`` spreads them over ``placement_parts`` evenly spaced nodes.
@@ -93,7 +105,19 @@ class ScenarioSpec:
         Root node for ``rooted`` placements.
     adversary, adversary_params:
         ASYNC activation policy and its keyword arguments (ignored by SYNC
-        algorithms).
+        algorithms, and by non-``"async"`` schedulers, which replace the
+        adversary wholesale).
+    scheduler, scheduler_params:
+        Synchrony-spectrum discipline for ASYNC-capable algorithms (a key of
+        :data:`SCHEDULERS`) and its keyword arguments (e.g. ``{"p": 0.25}``
+        for ``semi-sync``, ``{"delay_factor": 3}`` for ``bounded-delay``).
+        The default ``"async"`` is the classic setting and is *omitted* from
+        the serialized spec, so pre-scheduler scenarios keep their canonical
+        key, digest, seeds, and record bytes unchanged.  Like the fault
+        profile, the scheduler is excluded from the world-seed derivation:
+        the same scenario under different schedulers runs on the identical
+        graph/placement -- only the activation schedule differs, which is
+        exactly what a synchrony-spectrum sweep compares.
     seed:
         Master seed; all component seeds are derived from it together with the
         rest of the spec (see :func:`derive_seed`).
@@ -117,6 +141,8 @@ class ScenarioSpec:
     start_node: int = 0
     adversary: str = "round_robin"
     adversary_params: Mapping[str, Any] = field(default_factory=dict)
+    scheduler: str = "async"
+    scheduler_params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
     faults: Mapping[str, Any] = field(default_factory=dict)
     check_invariants: bool = False
@@ -131,6 +157,13 @@ class ScenarioSpec:
             raise ValueError(f"unknown placement {self.placement!r}; known: {PLACEMENTS}")
         if self.adversary not in ADVERSARIES:
             raise ValueError(f"unknown adversary {self.adversary!r}; known: {ADVERSARIES}")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}; known: {SCHEDULERS}")
+        if self.scheduler_params and self.scheduler == "async":
+            raise ValueError(
+                "scheduler_params need a non-'async' scheduler; the classic "
+                "setting is parameterized through adversary/adversary_params"
+            )
         if self.k < 1:
             raise ValueError("k must be >= 1")
         if self.placement == "split" and self.placement_parts < 2:
@@ -142,6 +175,7 @@ class ScenarioSpec:
         # identically to their canonical minimal form.
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "adversary_params", dict(self.adversary_params))
+        object.__setattr__(self, "scheduler_params", dict(self.scheduler_params))
         object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults).to_dict())
 
     def __hash__(self) -> int:
@@ -152,12 +186,14 @@ class ScenarioSpec:
 
     # -------------------------------------------------------- serialization
     def base_dict(self) -> Dict[str, Any]:
-        """The world-defining fields: everything except faults/invariants.
+        """The world-defining fields: everything except faults/invariants
+        and the scheduler axis.
 
         This is the pre-fault-subsystem spec format; :func:`derive_seed` hashes
         it so (a) component seeds are unchanged from earlier artifact formats
-        and (b) every fault profile of a scenario shares the same graph,
-        placement, and adversary stream.
+        and (b) every fault profile *and every scheduler* of a scenario shares
+        the same graph, placement, and adversary stream -- a synchrony-spectrum
+        sweep compares schedules over one world.
         """
         return {
             "family": self.family,
@@ -173,8 +209,16 @@ class ScenarioSpec:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-safe, round-trips through :meth:`from_dict`)."""
+        """Plain-dict form (JSON-safe, round-trips through :meth:`from_dict`).
+
+        The scheduler axis serializes only when it departs from the classic
+        ``"async"`` default, so every pre-scheduler spec -- and every record,
+        artifact, and store row derived from one -- keeps its exact bytes.
+        """
         data = self.base_dict()
+        if self.scheduler != "async":
+            data["scheduler"] = self.scheduler
+            data["scheduler_params"] = dict(self.scheduler_params)
         data["faults"] = dict(self.faults)
         data["check_invariants"] = self.check_invariants
         return data
@@ -219,10 +263,28 @@ class ScenarioSpec:
             check_invariants = self.check_invariants
         return replace(self, faults=dict(faults), check_invariants=check_invariants)
 
+    def with_scheduler(
+        self, scheduler: str, scheduler_params: Optional[Mapping[str, Any]] = None
+    ) -> "ScenarioSpec":
+        """The same world under a different synchrony discipline.
+
+        The graph, placement, fault schedule, and every derived world seed are
+        untouched (see :meth:`base_dict`): only the activation schedule of
+        ASYNC-capable algorithms changes.
+        """
+        return replace(
+            self,
+            scheduler=scheduler,
+            scheduler_params=dict(scheduler_params) if scheduler_params else {},
+        )
+
     def label(self) -> str:
         """Compact human-readable tag used in logs and CSV rows."""
         params = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
-        return f"{self.family}({params})/k={self.k}/seed={self.seed}"
+        tag = f"{self.family}({params})/k={self.k}/seed={self.seed}"
+        if self.scheduler != "async":
+            tag += f"/sched={self.scheduler}"
+        return tag
 
 
 def derive_seed(spec: ScenarioSpec, component: str) -> int:
@@ -248,6 +310,20 @@ def derive_fault_seed(spec: ScenarioSpec) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_scheduler_seed(spec: ScenarioSpec) -> int:
+    """Seed for a non-``"async"`` scheduler's activation stream.
+
+    Mixes the scheduler name and parameters over the world key (the
+    :func:`derive_fault_seed` pattern), so distinct disciplines draw distinct
+    streams while the world itself stays shared across the scheduler axis.
+    """
+    params = json.dumps(dict(spec.scheduler_params), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(
+        f"{spec.base_key()}#{spec.scheduler}#{params}#scheduler".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def build_graph(spec: ScenarioSpec) -> PortLabeledGraph:
     """Materialize the scenario's port-labeled graph."""
     factory = GRAPH_FAMILIES[spec.family]
@@ -260,7 +336,7 @@ def build_graph(spec: ScenarioSpec) -> PortLabeledGraph:
 
 
 def build_adversary(spec: ScenarioSpec) -> Adversary:
-    """Materialize the scenario's ASYNC activation adversary."""
+    """Materialize the scenario's fully asynchronous activation adversary."""
     if spec.adversary == "round_robin":
         return RoundRobinAdversary()
     if spec.adversary == "random":
@@ -275,6 +351,27 @@ def build_adversary(spec: ScenarioSpec) -> Adversary:
         )
     return StarvationAdversary(
         seed=derive_seed(spec, "adversary"), **spec.adversary_params
+    )
+
+
+def build_scheduler(spec: ScenarioSpec) -> Adversary:
+    """Materialize the scenario's activation scheduler (the synchrony axis).
+
+    The classic ``"async"`` discipline defers to :func:`build_adversary` (the
+    ``adversary``/``adversary_params`` fields, with their historical seed
+    stream); the synchrony-restricted disciplines construct their scheduler
+    from ``scheduler_params`` and a scheduler-specific seed.
+    """
+    if spec.scheduler == "async":
+        return build_adversary(spec)
+    if spec.scheduler == "lockstep":
+        return LockstepScheduler(**spec.scheduler_params)
+    if spec.scheduler == "semi-sync":
+        return SemiSyncScheduler(
+            seed=derive_scheduler_seed(spec), **spec.scheduler_params
+        )
+    return BoundedDelayScheduler(
+        seed=derive_scheduler_seed(spec), **spec.scheduler_params
     )
 
 

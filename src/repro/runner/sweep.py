@@ -77,15 +77,21 @@ class SweepSpec:
         """All compatible (algorithm, scenario) pairs in deterministic order.
 
         Rooted-only algorithms are paired only with rooted placements; general
-        algorithms run on every placement.  The filter works off the specs
-        alone so the job list is known before any graph is built.
+        algorithms run on every placement; SYNC algorithms (lockstep by
+        construction) are paired only with the classic ``"async"`` scheduler
+        default, so a synchrony-spectrum sweep targets exactly the
+        ASYNC-capable algorithms.  The filter works off the specs alone so the
+        job list is known before any graph is built.
         """
         return [
             (algorithm, scenario.to_dict())
             for scenario in self.scenarios
             for algorithm in self.algorithms
-            if get_algorithm(algorithm).config == "general"
-            or scenario.placement == "rooted"
+            if (
+                get_algorithm(algorithm).config == "general"
+                or scenario.placement == "rooted"
+            )
+            and get_algorithm(algorithm).supports_scheduler(scenario.scheduler)
         ]
 
     def with_profiles(
@@ -104,6 +110,23 @@ class SweepSpec:
         scenarios = [
             scenario.with_faults(profile, check_invariants=check_invariants)
             for profile in profiles
+            for scenario in self.scenarios
+        ]
+        return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
+
+    def with_scheduler(
+        self, scheduler: str, scheduler_params: Optional[Mapping[str, Any]] = None
+    ) -> "SweepSpec":
+        """Run this sweep's scenarios under a different synchrony discipline.
+
+        Every scenario keeps its world (graph, placement, faults, seeds) and
+        swaps only the activation schedule; see
+        :meth:`ScenarioSpec.with_scheduler`.  Pair with :meth:`jobs`'s
+        scheduler filter: SYNC algorithms simply drop out of a non-default
+        scheduler sweep instead of producing unsupported records.
+        """
+        scenarios = [
+            scenario.with_scheduler(scheduler, scheduler_params)
             for scenario in self.scenarios
         ]
         return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)

@@ -1,14 +1,21 @@
-"""Execution substrates: synchronous round engine and asynchronous CCM scheduler,
-plus the fault-injection and invariant-checking layers that stress them."""
+"""Execution substrates: one shared world kernel behind synchronous-round and
+asynchronous-CCM facades, a pluggable scheduler family spanning the synchrony
+spectrum, plus the fault-injection and invariant-checking layers that stress
+them."""
 
+from repro.sim.kernel import ExecutionKernel
 from repro.sim.sync_engine import SyncEngine
 from repro.sim.async_engine import AsyncEngine, Move, Stay, WaitUntil
 from repro.sim.adversary import (
     Adversary,
     AdaptiveCollisionAdversary,
+    BoundedDelayScheduler,
     LazySettlerAdversary,
+    LockstepScheduler,
     RandomAdversary,
     RoundRobinAdversary,
+    Scheduler,
+    SemiSyncScheduler,
     StarvationAdversary,
 )
 from repro.sim.faults import FaultEvent, FaultInjector, FaultSpec, parse_faults
@@ -18,17 +25,22 @@ from repro.sim.metrics import RunMetrics
 from repro.sim.result import DispersionResult
 
 __all__ = [
+    "ExecutionKernel",
     "SyncEngine",
     "AsyncEngine",
     "Move",
     "Stay",
     "WaitUntil",
+    "Scheduler",
     "Adversary",
     "AdaptiveCollisionAdversary",
     "LazySettlerAdversary",
     "RandomAdversary",
     "RoundRobinAdversary",
     "StarvationAdversary",
+    "LockstepScheduler",
+    "SemiSyncScheduler",
+    "BoundedDelayScheduler",
     "FaultEvent",
     "FaultInjector",
     "FaultSpec",

@@ -1,10 +1,40 @@
-"""Adversarial activation schedulers for the ASYNC setting.
+"""Pluggable activation schedulers: the synchrony spectrum as a policy family.
 
-In ASYNC agents become active at arbitrary times; the only fairness guarantee is
-that every agent is activated infinitely often.  Time is measured in *epochs*
-(the smallest interval within which every agent completes at least one CCM
-cycle), so the adversary controls how much wall-clock work happens per epoch but
-not the epoch count semantics.
+Synchrony is a property of the *scheduler*, not of the execution engine:
+SYNC's lockstep rounds and ASYNC's adversary-chosen single activations are
+two points on one spectrum of activation orders over the same
+Communicate–Compute–Move cycle.  Every class here implements the one-method
+:class:`Scheduler` contract -- ``next_agent()`` -- and plugs into
+:class:`~repro.sim.async_engine.AsyncEngine` unchanged, so any ASYNC-capable
+algorithm can be swept across the whole spectrum:
+
+========================  =================================================
+scheduler                 synchrony model
+========================  =================================================
+:class:`LockstepScheduler`       SYNC-like: every agent acts exactly once per
+                                 round, in id order (the fully synchronous
+                                 extreme of the spectrum).
+:class:`SemiSyncScheduler`       SSYNC/FSYNC-style: each round the adversary
+                                 picks a non-empty agent subset; exactly the
+                                 selected agents act that round.
+:class:`BoundedDelayScheduler`   k-bounded delay: arbitrary activation order,
+                                 but every agent acts at least once in any
+                                 window of ``bound`` consecutive activations.
+ASYNC adversaries below          fully asynchronous: fairness only.
+========================  =================================================
+
+Subset and single-activation schedules are *sequentialized*: the engine
+executes one CCM cycle at a time, so a semi-synchronous round is emitted as
+its members' cycles in ascending id order.  For the dispersion algorithms --
+which are correct against every fair sequential interleaving -- this is the
+standard simulation of the stronger model by the weaker one; the rounds
+structure is what the scheduler constrains.
+
+In fully asynchronous runs the only fairness guarantee is that every agent
+is activated infinitely often.  Time is measured in *epochs* (the smallest
+interval within which every agent completes at least one CCM cycle), so the
+scheduler controls how much wall-clock work happens per epoch but not the
+epoch count semantics.
 
 The algorithms of the paper must meet their epoch bounds against *every*
 adversary.  The benchmarks therefore run each ASYNC algorithm under several
@@ -26,32 +56,38 @@ Adaptive adversaries remain *fair*: both enforce a bounded-staleness guarantee
 (no agent waits more than a fixed number of activations), which is exactly the
 fairness assumption the paper's model grants the algorithm.
 
-Every adversary supports deterministic re-binding: :meth:`Adversary.bind`
-resets all internal state (RNG streams, cursors), so reusing one adversary
-object across engines replays the same schedule -- a property the runner's
-byte-deterministic artifacts rely on.
+Every scheduler supports deterministic re-binding: :meth:`Scheduler.bind`
+resets all internal state (RNG streams, cursors, round queues), so reusing one
+scheduler object across engines replays the same schedule -- a property the
+runner's byte-deterministic artifacts rely on.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Sequence, Set
+
+from collections import deque
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.async_engine import AsyncEngine
 
 __all__ = [
+    "Scheduler",
     "Adversary",
     "RandomAdversary",
     "RoundRobinAdversary",
     "StarvationAdversary",
     "AdaptiveCollisionAdversary",
     "LazySettlerAdversary",
+    "LockstepScheduler",
+    "SemiSyncScheduler",
+    "BoundedDelayScheduler",
 ]
 
 
-class Adversary(abc.ABC):
+class Scheduler(abc.ABC):
     """Chooses which agent performs the next CCM cycle."""
 
     def bind(self, agent_ids: Sequence[int]) -> None:
@@ -73,6 +109,13 @@ class Adversary(abc.ABC):
     @abc.abstractmethod
     def next_agent(self) -> int:
         """Return the id of the agent to activate next."""
+
+
+#: Historical name of the scheduler contract.  The classic ASYNC policies keep
+#: "Adversary" in their class names (that is the model's vocabulary: the
+#: algorithm must beat every adversary); the synchrony-restricted disciplines
+#: below use "Scheduler".  The contract is one and the same.
+Adversary = Scheduler
 
 
 class RandomAdversary(Adversary):
@@ -276,3 +319,142 @@ class LazySettlerAdversary(_AdaptiveAdversary):
         if unsettled:
             return self._rng.choice(unsettled)
         return self._rng.choice(self.agent_ids)
+
+
+# ---------------------------------------------------------------------------
+# Synchrony-restricted schedulers: the SYNC and semi-synchronous ends of the
+# spectrum, expressed as activation policies so ASYNC-capable algorithms run
+# under them unchanged.
+
+
+class LockstepScheduler(RoundRobinAdversary):
+    """The fully synchronous end of the spectrum: id-order lockstep rounds.
+
+    Every agent performs exactly one CCM cycle per round, in ascending id
+    order -- the sequentialization of a SYNC round.  Behaviorally this is
+    :class:`RoundRobinAdversary` (the conformance suite exploits exactly that
+    equivalence to pin the kernel's SYNC traces); the distinct name makes the
+    scenario axis explicit: ``scheduler="lockstep"`` declares the workload
+    synchronous, not merely adversary-friendly.
+    """
+
+
+class SemiSyncScheduler(Scheduler):
+    """Semi-synchronous (SSYNC/FSYNC-style) rounds: a chosen subset acts.
+
+    Each round the adversary draws a subset of the agents -- every agent
+    independently with probability ``p`` -- and exactly the selected agents
+    perform one CCM cycle that round, emitted in ascending id order.  An empty
+    draw is re-centred on one random agent so time always advances.
+
+    Fairness is guaranteed by a bounded-staleness rule, mirroring the adaptive
+    adversaries: an agent left out of ``max_stale`` consecutive rounds is
+    force-included in the next draw, so every agent acts at least once per
+    ``max_stale + 1`` rounds -- the paper's "activated infinitely often"
+    assumption with an explicit constant.
+    """
+
+    def __init__(self, seed: int = 0, p: float = 0.5, max_stale: int = 4) -> None:
+        if not (0.0 < p <= 1.0):
+            raise ValueError("p must be in (0, 1]")
+        if max_stale < 1:
+            raise ValueError("max_stale must be >= 1")
+        self._seed = seed
+        self._p = p
+        self._max_stale = max_stale
+        self._rng = random.Random(seed)
+        self._stale: Dict[int, int] = {}
+        self._round_queue: Deque[int] = deque()
+        #: Completed + in-progress rounds (draws) so far.
+        self.rounds = 0
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        super().bind(agent_ids)
+        self._rng = random.Random(self._seed)
+        self._stale = {agent_id: 0 for agent_id in self.agent_ids}
+        self._round_queue = deque()
+        self.rounds = 0
+
+    def _draw_round(self) -> None:
+        # One rng.random() per agent, in sorted order, keeps the draw count --
+        # hence the whole stream -- deterministic regardless of staleness.
+        selected = [
+            agent_id
+            for agent_id in sorted(self.agent_ids)
+            if self._rng.random() < self._p or self._stale[agent_id] >= self._max_stale
+        ]
+        if not selected:
+            selected = [self._rng.choice(sorted(self.agent_ids))]
+        chosen = set(selected)
+        for agent_id in self.agent_ids:
+            self._stale[agent_id] = 0 if agent_id in chosen else self._stale[agent_id] + 1
+        self._round_queue.extend(selected)
+        self.rounds += 1
+
+    def next_agent(self) -> int:
+        if not self._round_queue:
+            self._draw_round()
+        return self._round_queue.popleft()
+
+
+class BoundedDelayScheduler(Scheduler):
+    """k-bounded-delay schedules: arbitrary order, bounded inattention.
+
+    The adversary activates agents in any (seeded random) order, but every
+    agent is guaranteed to act at least once in any window of ``bound``
+    consecutive activations, where ``bound = delay_factor * population``
+    (``delay_factor >= 1``, so the bound is always achievable).  This is the
+    classic partially synchronous middle of the spectrum: stronger than
+    fairness-only ASYNC, weaker than lockstep.
+
+    The guarantee is enforced with per-agent deadlines: agent ``a`` activated
+    at tick ``t`` gets deadline ``t + bound``; a tick whose deadline is due
+    activates exactly that agent, every other tick is free random choice.
+    Deadlines are pairwise distinct by construction (one activation per tick,
+    plus staggered initial deadlines), so no two agents ever fall due at once
+    and the window property holds unconditionally -- which the Hypothesis
+    property suite pins against a sliding-window oracle.
+    """
+
+    def __init__(self, seed: int = 0, delay_factor: int = 2) -> None:
+        if delay_factor < 1:
+            raise ValueError("delay_factor must be >= 1")
+        self._seed = seed
+        self._delay_factor = delay_factor
+        self._rng = random.Random(seed)
+        self._clock = 0
+        #: Activation window bound (set at bind time; documented attribute).
+        self.bound = 0
+        self._deadline_of: Dict[int, int] = {}
+        self._agent_due_at: Dict[int, int] = {}
+
+    def bind(self, agent_ids: Sequence[int]) -> None:
+        super().bind(agent_ids)
+        self._rng = random.Random(self._seed)
+        self._clock = 0
+        n = len(self.agent_ids)
+        self.bound = self._delay_factor * n
+        # Staggered initial deadlines bound-n+1 .. bound (distinct, all >= 1):
+        # the first window already contains every agent at least once.
+        ordered = sorted(self.agent_ids)
+        self._deadline_of = {
+            agent_id: self.bound - (n - 1 - index)
+            for index, agent_id in enumerate(ordered)
+        }
+        self._agent_due_at = {
+            deadline: agent_id for agent_id, deadline in self._deadline_of.items()
+        }
+
+    def next_agent(self) -> int:
+        self._clock += 1
+        due = self._agent_due_at.pop(self._clock, None)
+        if due is not None:
+            choice = due
+        else:
+            choice = self._rng.choice(self.agent_ids)
+            # The randomly chosen agent's old deadline is no longer due.
+            del self._agent_due_at[self._deadline_of[choice]]
+        deadline = self._clock + self.bound
+        self._deadline_of[choice] = deadline
+        self._agent_due_at[deadline] = choice
+        return choice

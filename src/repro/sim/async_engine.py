@@ -1,7 +1,7 @@
 """Asynchronous execution engine (the paper's ASYNC setting).
 
 Agents have no common notion of time.  An *activation* is one full
-Communicate–Compute–Move cycle of a single agent; the adversary
+Communicate–Compute–Move cycle of a single agent; the scheduler
 (:mod:`repro.sim.adversary`) decides who is activated next, subject only to the
 fairness guarantee that every agent is activated infinitely often.  Time is
 measured in *epochs*: epoch ``i`` is the smallest interval after epoch ``i-1``
@@ -20,6 +20,16 @@ one action per CCM cycle.  Three actions exist:
 Program code runs only while its agent is activated, so any reads/writes it
 performs against co-located agents model the Communicate/Compute phases of that
 agent's own cycle.
+
+Like :class:`~repro.sim.sync_engine.SyncEngine`, this engine is a thin facade
+over the shared :class:`~repro.sim.kernel.ExecutionKernel`: the kernel owns
+the world (agent table, occupancy, move mechanics, fault wiring, observation
+queries) while this class contributes the activation-level scheduling
+discipline -- program/pending bookkeeping, epoch counting, and the per-cycle
+fault clock.  Because scheduling is fully delegated to the pluggable
+:class:`~repro.sim.adversary.Scheduler` family, the same engine covers the
+entire non-lockstep synchrony spectrum: classic ASYNC adversaries,
+semi-synchronous round subsets, and k-bounded-delay schedules.
 """
 
 from __future__ import annotations
@@ -29,10 +39,10 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Unio
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
-from repro.sim import instrumentation
 from repro.sim.adversary import Adversary, RandomAdversary
 from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
+from repro.sim.kernel import ExecutionKernel
 from repro.sim.metrics import RunMetrics
 
 __all__ = ["Move", "Stay", "WaitUntil", "AsyncEngine"]
@@ -74,7 +84,8 @@ class AsyncEngine:
     graph, agents:
         The substrate and population, as for :class:`~repro.sim.sync_engine.SyncEngine`.
     adversary:
-        Activation policy; defaults to :class:`RandomAdversary` with seed 0.
+        Activation policy (any :class:`~repro.sim.adversary.Scheduler`);
+        defaults to :class:`RandomAdversary` with seed 0.
     max_activations:
         Safety cap turning livelock bugs into test failures.
     fault_injector, invariant_checker:
@@ -92,41 +103,58 @@ class AsyncEngine:
         fault_injector: Optional[FaultInjector] = None,
         invariant_checker: Optional[InvariantChecker] = None,
     ) -> None:
-        self.graph = graph
-        self.agents: Dict[int, Agent] = {}
-        # Dense per-node occupancy (see SyncEngine): indexing by node beats
-        # dict hashing on the activation hot path.
-        self._occupancy: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
-        for agent in agents:
-            if agent.agent_id in self.agents:
-                raise ValueError(f"duplicate agent id {agent.agent_id}")
-            self.agents[agent.agent_id] = agent
-            self._occupancy[agent.position].add(agent.agent_id)
-        if not self.agents:
-            raise ValueError("need at least one agent")
+        self._kernel = ExecutionKernel(
+            graph,
+            agents,
+            time_attr="activations",
+            fault_injector=fault_injector,
+            invariant_checker=invariant_checker,
+        )
         self.adversary = adversary if adversary is not None else RandomAdversary(0)
-        self.adversary.bind(sorted(self.agents))
+        self.adversary.bind(sorted(self._kernel.agents))
         self.adversary.attach(self)
         self.max_activations = max_activations
-        config = instrumentation.current()
-        if fault_injector is None and config is not None:
-            fault_injector = config.make_injector(sorted(self.agents))
-        if invariant_checker is None and config is not None:
-            invariant_checker = config.make_checker(graph, self.agents)
-        elif invariant_checker is not None:
-            invariant_checker.attach(graph, self.agents)
-        self.fault_injector = fault_injector
-        self.invariant_checker = invariant_checker
-
-        self.metrics = RunMetrics()
-        self._moves_per_agent: Dict[int, int] = {}
-        self._programs: Dict[int, Optional[Program]] = {a: None for a in self.agents}
-        self._pending: Dict[int, Optional[Action]] = {a: None for a in self.agents}
+        self._programs: Dict[int, Optional[Program]] = {
+            a: None for a in self._kernel.agents
+        }
+        self._pending: Dict[int, Optional[Action]] = {
+            a: None for a in self._kernel.agents
+        }
         self._active_this_epoch: Set[int] = set()
-        #: While an activation is executing, the tick it runs at; fault queries
-        #: made by program code must see *that* tick, not the already-advanced
-        #: activation counter (``None`` between activations).
-        self._cycle_time: Optional[int] = None
+
+    # ------------------------------------------------------- kernel delegation
+    @property
+    def kernel(self) -> ExecutionKernel:
+        """The shared execution kernel this engine schedules."""
+        return self._kernel
+
+    @property
+    def graph(self) -> PortLabeledGraph:
+        return self._kernel.graph
+
+    @property
+    def agents(self) -> Dict[int, Agent]:
+        return self._kernel.agents
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return self._kernel.metrics
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        return self._kernel.fault_injector
+
+    @property
+    def invariant_checker(self) -> Optional[InvariantChecker]:
+        return self._kernel.invariant_checker
+
+    @property
+    def _occupancy(self) -> List[Set[int]]:
+        return self._kernel.occupancy
+
+    @property
+    def _moves_per_agent(self) -> Dict[int, int]:
+        return self._kernel.moves_per_agent
 
     # ------------------------------------------------------------- programs
     def assign(self, agent_id: int, program: Program) -> None:
@@ -154,33 +182,46 @@ class AsyncEngine:
     @property
     def epochs(self) -> int:
         """Completed epochs so far (see :meth:`close_epoch` for the final partial one)."""
-        return self.metrics.epochs
+        return self._kernel.metrics.epochs
 
     def run_until(self, predicate: Callable[[], bool], check_every: int = 1) -> None:
-        """Activate agents (per the adversary) until ``predicate()`` is true."""
-        checks = 0
+        """Activate agents (per the scheduler) until ``predicate()`` is true.
+
+        ``check_every`` batches the predicate evaluation: the predicate is
+        checked once before the run and then after every ``check_every``
+        activations, so an expensive global predicate (e.g. "all agents
+        settled" over a large population) amortizes over a burst of cheap
+        activations.  The run may therefore overshoot the predicate's first
+        true point by up to ``check_every - 1`` activations; the default of 1
+        preserves exact per-activation checking.
+        """
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        metrics = self._kernel.metrics
         while not predicate():
-            agent_id = self.adversary.next_agent()
-            self._activate(agent_id)
-            checks += 1
-            if self.max_activations is not None and self.metrics.activations > self.max_activations:
-                raise RuntimeError(
-                    f"exceeded max_activations={self.max_activations}; "
-                    "the algorithm is probably livelocked"
-                )
+            for _ in range(check_every):
+                agent_id = self.adversary.next_agent()
+                self._activate(agent_id)
+                if self.max_activations is not None and metrics.activations > self.max_activations:
+                    raise RuntimeError(
+                        f"exceeded max_activations={self.max_activations}; "
+                        "the algorithm is probably livelocked"
+                    )
         self.close_epoch()
 
     def close_epoch(self) -> None:
         """Count a trailing partial epoch (conservative rounding up)."""
         if self._active_this_epoch:
-            self.metrics.epochs += 1
+            self._kernel.metrics.epochs += 1
             self._active_this_epoch.clear()
 
     def _activate(self, agent_id: int) -> None:
-        agent = self.agents[agent_id]
-        now = self.metrics.activations
-        self.metrics.activations = now + 1
-        injector = self.fault_injector
+        kernel = self._kernel
+        agent = kernel.agents[agent_id]
+        now = kernel.metrics.activations
+        kernel.metrics.activations = now + 1
+        injector = kernel.fault_injector
+        checker = kernel.invariant_checker
         if injector is not None:
             injector.begin_tick(now, self)
             if injector.view(agent_id, now).blocked_for_cycle:
@@ -188,14 +229,14 @@ class AsyncEngine:
                 # does not count toward the epoch (an epoch ends only when every
                 # agent *completes* a CCM cycle).
                 injector.record_blocked(agent_id, now)
-                if self.invariant_checker is not None:
-                    self.invariant_checker.after_tick(now + 1)
+                if checker is not None:
+                    checker.after_tick(now + 1)
                 return
 
         # Program code running below belongs to this activation: any fault
         # query it makes (agents_at, fault_view) is answered at tick ``now``,
         # matching the blocked check above.
-        self._cycle_time = now
+        kernel.cycle_time = now
         try:
             action = self._pending[agent_id]
             if action is None:
@@ -218,7 +259,7 @@ class AsyncEngine:
                         # cycle above.
                         self._pending[agent_id] = action
                     else:
-                        self._move(agent, action.port)
+                        kernel.apply_move(agent, action.port)
                         self._pending[agent_id] = None
                 elif isinstance(action, Stay):
                     self._pending[agent_id] = None
@@ -230,91 +271,47 @@ class AsyncEngine:
                 else:  # pragma: no cover - defensive
                     raise TypeError(f"unknown action {action!r}")
         finally:
-            self._cycle_time = None
+            kernel.cycle_time = None
 
         # Epoch bookkeeping: this agent completed one CCM cycle.
         self._active_this_epoch.add(agent_id)
-        if len(self._active_this_epoch) == len(self.agents):
-            self.metrics.epochs += 1
+        if len(self._active_this_epoch) == len(kernel.agents):
+            kernel.metrics.epochs += 1
             self._active_this_epoch.clear()
-        if self.invariant_checker is not None:
-            self.invariant_checker.after_tick(now + 1)
-
-    def _move(self, agent: Agent, port: int) -> None:
-        dst, rev = self.graph.move(agent.position, port)
-        self._occupancy[agent.position].discard(agent.agent_id)
-        agent.arrive(dst, rev)
-        self._occupancy[dst].add(agent.agent_id)
-        self.metrics.total_moves += 1
-        count = self._moves_per_agent.get(agent.agent_id, 0) + 1
-        self._moves_per_agent[agent.agent_id] = count
-        if count > self.metrics.max_moves_per_agent:
-            self.metrics.max_moves_per_agent = count
+        if checker is not None:
+            checker.after_tick(now + 1)
 
     # ------------------------------------------------------------ observation
-    def _fault_clock(self) -> int:
-        """The tick fault queries are answered at: the executing activation's
-        tick while inside one, else the upcoming activation index."""
-        if self._cycle_time is not None:
-            return self._cycle_time
-        return self.metrics.activations
+    # All observation queries are the kernel's (the v2 fault-visibility
+    # contract lives there, shared verbatim with the SYNC engine); the fault
+    # clock inside an activation is the executing cycle's tick.
 
     def fault_view(self, agent_id: int) -> AgentFaultView:
-        """The agent's :class:`AgentFaultView` at the current fault clock.
-
-        The healthy view when no fault injector is installed; drivers gate
-        their on-behalf-of actions (settling an agent, conscripting it into a
-        group walk) through this instead of reaching into the injector.
-        """
-        if self.fault_injector is None:
-            return AgentFaultView(agent_id=agent_id)
-        return self.fault_injector.view(agent_id, self._fault_clock())
+        """The agent's :class:`AgentFaultView` at the current fault clock."""
+        return self._kernel.fault_view(agent_id)
 
     def agents_at(self, node: int) -> List[Agent]:
-        """Agents at ``node`` that participate in communication right now.
+        """Agents at ``node`` that participate in communication right now."""
+        return self._kernel.agents_at(node)
 
-        The Communicate-phase query of the v2 fault contract (see
-        :meth:`SyncEngine.agents_at <repro.sim.sync_engine.SyncEngine.agents_at>`):
-        a crashed/frozen agent's body stays on the node but it is invisible to
-        co-located interaction -- it cannot answer probes, be settled, or be
-        instructed while blocked.
-        """
-        present = sorted(self._occupancy[node])
-        injector = self.fault_injector
-        if injector is None:
-            return [self.agents[a] for a in present]
-        now = self._fault_clock()
-        return [self.agents[a] for a in present if not injector.is_blocked(a, now)]
+    def occupied(self, node: int) -> bool:
+        """True when at least one agent body is at ``node`` (physical query)."""
+        return self._kernel.occupied(node)
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
         """The settled agent at ``node`` that answers probes right now."""
-        for agent in self.agents_at(node):
-            if agent.settled and self.fault_view(agent.agent_id).answers_probes:
-                return agent
-        return None
+        return self._kernel.settled_agent_at(node)
 
     def settled_agents_at(self, node: int) -> List[Agent]:
         """All settled agents at ``node`` that answer probes right now."""
-        return [
-            a
-            for a in self.agents_at(node)
-            if a.settled and self.fault_view(a.agent_id).answers_probes
-        ]
+        return self._kernel.settled_agents_at(node)
 
     def positions(self) -> Dict[int, int]:
         """Snapshot of ``agent_id -> node``."""
-        return {a.agent_id: a.position for a in self.agents.values()}
+        return self._kernel.positions()
 
     def finalize_metrics(self) -> RunMetrics:
         """Fold per-agent memory peaks (and any fault/invariant counters) into
         the run metrics and return them."""
         self.close_epoch()
-        self.metrics.record_memory(self.agents.values())
-        if self.invariant_checker is not None:
-            self.invariant_checker.finalize(self.metrics.activations)
-            for name, value in self.invariant_checker.metrics_extra().items():
-                self.metrics.set_extra(name, value)
-        if self.fault_injector is not None:
-            for name, value in self.fault_injector.metrics_extra().items():
-                self.metrics.set_extra(name, value)
-        return self.metrics
+        return self._kernel.finalize_metrics()

@@ -1,0 +1,222 @@
+"""Execution kernel shared by every simulation engine.
+
+The paper's SYNC and ASYNC settings are two points on one scheduling
+spectrum: both execute the same Communicate–Compute–Move cycle against the
+same world state, they differ only in *who acts when* (every agent in
+lockstep rounds vs. adversary-chosen single activations).  Everything that
+is a property of the **world** rather than of the **schedule** therefore
+lives here, in one :class:`ExecutionKernel` that both
+:class:`~repro.sim.sync_engine.SyncEngine` and
+:class:`~repro.sim.async_engine.AsyncEngine` are thin facades over:
+
+* the agent table and the dense per-node occupancy sets,
+* move application (single activation moves and simultaneous SYNC batches)
+  with the per-agent move accounting behind ``max_moves_per_agent``,
+* resolution of the fault injector / invariant checker from explicit
+  arguments or the ambient :mod:`repro.sim.instrumentation` context,
+* the **fault clock** -- the tick fault queries are answered at: the
+  executing activation's tick while program code runs inside one
+  (``cycle_time``), else the engine's native counter (rounds or
+  activations),
+* the v2 fault-visibility observation queries (``agents_at``, ``occupied``,
+  ``settled_agent_at``, ``settled_agents_at``, ``fault_view``,
+  ``positions``, ``finalize_metrics``): a crashed/frozen agent's body stays
+  physically present but it is invisible to co-located interaction -- it can
+  neither settle, be settled or instructed, nor answer probes while blocked.
+
+Scheduling policy -- what a "step" is, how time advances, which agent acts
+next -- stays in the facades and in the pluggable schedulers of
+:mod:`repro.sim.adversary`.  That split is what opens the synchrony
+spectrum: a new scheduling discipline (semi-synchronous, bounded-delay)
+composes with the kernel instead of re-implementing the world logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.agents.agent import Agent
+from repro.graph.port_graph import PortLabeledGraph
+from repro.sim import instrumentation
+from repro.sim.faults import AgentFaultView, FaultInjector
+from repro.sim.invariants import InvariantChecker
+from repro.sim.metrics import RunMetrics
+
+__all__ = ["ExecutionKernel"]
+
+
+class ExecutionKernel:
+    """World state, move mechanics, and fault-filtered observation queries.
+
+    Parameters
+    ----------
+    graph:
+        The anonymous port-labeled graph.
+    agents:
+        The agents, each already carrying its start position.
+    time_attr:
+        Which :class:`~repro.sim.metrics.RunMetrics` counter is the engine's
+        native clock: ``"rounds"`` (SYNC) or ``"activations"`` (ASYNC).  The
+        fault clock reads it whenever no activation is executing.
+    fault_injector, invariant_checker:
+        Optional fault model and run-time safety checks (see
+        :mod:`repro.sim.faults` / :mod:`repro.sim.invariants`).  When
+        omitted, both are resolved from the ambient instrumentation context
+        (:mod:`repro.sim.instrumentation`), which is how the experiment
+        runner instruments engines that algorithm drivers build internally.
+    """
+
+    def __init__(
+        self,
+        graph: PortLabeledGraph,
+        agents: Iterable[Agent],
+        time_attr: str = "rounds",
+        fault_injector: Optional[FaultInjector] = None,
+        invariant_checker: Optional[InvariantChecker] = None,
+    ) -> None:
+        if time_attr not in ("rounds", "activations"):
+            raise ValueError(f"time_attr must be 'rounds' or 'activations', got {time_attr!r}")
+        self.graph = graph
+        self.agents: Dict[int, Agent] = {}
+        # Occupancy is a dense per-node list of id sets: node indices are the
+        # kernel's hottest keys, so direct indexing beats dict hashing.
+        self.occupancy: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
+        for agent in agents:
+            if agent.agent_id in self.agents:
+                raise ValueError(f"duplicate agent id {agent.agent_id}")
+            self.agents[agent.agent_id] = agent
+            self.occupancy[agent.position].add(agent.agent_id)
+        if not self.agents:
+            raise ValueError("need at least one agent")
+        self.metrics = RunMetrics()
+        self.moves_per_agent: Dict[int, int] = {}
+        self._count_activations = time_attr == "activations"
+        #: While an activation is executing, the tick it runs at; fault queries
+        #: made by program code must see *that* tick, not the already-advanced
+        #: activation counter (``None`` between activations).
+        self.cycle_time: Optional[int] = None
+        config = instrumentation.current()
+        if fault_injector is None and config is not None:
+            fault_injector = config.make_injector(sorted(self.agents))
+        if invariant_checker is None and config is not None:
+            invariant_checker = config.make_checker(graph, self.agents)
+        elif invariant_checker is not None:
+            invariant_checker.attach(graph, self.agents)
+        self.fault_injector = fault_injector
+        self.invariant_checker = invariant_checker
+
+    # -------------------------------------------------------------- the clock
+    def now(self) -> int:
+        """The tick fault queries are answered at (the fault clock)."""
+        if self.cycle_time is not None:
+            return self.cycle_time
+        metrics = self.metrics
+        return metrics.activations if self._count_activations else metrics.rounds
+
+    # ---------------------------------------------------------------- movement
+    def apply_move(self, agent: Agent, port: int) -> None:
+        """Cross one edge in a single-agent activation (the ASYNC primitive)."""
+        dst, rev = self.graph.move(agent.position, port)
+        self.occupancy[agent.position].discard(agent.agent_id)
+        agent.arrive(dst, rev)
+        self.occupancy[dst].add(agent.agent_id)
+        self.metrics.total_moves += 1
+        count = self.moves_per_agent.get(agent.agent_id, 0) + 1
+        self.moves_per_agent[agent.agent_id] = count
+        if count > self.metrics.max_moves_per_agent:
+            self.metrics.max_moves_per_agent = count
+
+    def apply_batch(self, moves: Mapping[int, Optional[int]]) -> None:
+        """Apply one round's move batch simultaneously (the SYNC primitive).
+
+        ``moves`` maps agent id to exit port; ``None`` ports mean "stay put".
+        All moves are validated against the *current* positions first, then
+        every source is vacated and the batch lands at once, exactly as in the
+        SYNC model (no agent observes another on an edge).
+        """
+        edge = self.graph.move
+        occupancy = self.occupancy
+        planned: List[tuple[Agent, int, int]] = []  # agent, dst, rev_port
+        for agent_id, port in moves.items():
+            if port is None:
+                continue
+            agent = self.agents[agent_id]
+            dst, rev = edge(agent.position, port)
+            planned.append((agent, dst, rev))
+        for agent, _dst, _rev in planned:
+            occupancy[agent.position].discard(agent.agent_id)
+        moves_per_agent = self.moves_per_agent
+        max_moves = self.metrics.max_moves_per_agent
+        for agent, dst, rev in planned:
+            agent.arrive(dst, rev)
+            occupancy[dst].add(agent.agent_id)
+            count = moves_per_agent.get(agent.agent_id, 0) + 1
+            moves_per_agent[agent.agent_id] = count
+            if count > max_moves:
+                max_moves = count
+        self.metrics.total_moves += len(planned)
+        self.metrics.max_moves_per_agent = max_moves
+
+    # ------------------------------------------------------------ observation
+    def fault_view(self, agent_id: int) -> AgentFaultView:
+        """The agent's :class:`AgentFaultView` at the current fault clock.
+
+        The healthy view when no fault injector is installed; drivers gate
+        their on-behalf-of actions (settling an agent, conscripting it into a
+        group move) through this instead of reaching into the injector.
+        """
+        if self.fault_injector is None:
+            return AgentFaultView(agent_id=agent_id)
+        return self.fault_injector.view(agent_id, self.now())
+
+    def agents_at(self, node: int) -> List[Agent]:
+        """Agents at ``node`` that participate in communication right now.
+
+        This is the Communicate-phase query of the v2 fault contract: a
+        crashed/frozen agent's body remains on the node (see
+        :meth:`positions` / :meth:`occupied`) but it executes no cycle, so it
+        is invisible here -- it cannot answer probes, be settled, or be
+        instructed while blocked.
+        """
+        present = sorted(self.occupancy[node])
+        injector = self.fault_injector
+        if injector is None:
+            return [self.agents[a] for a in present]
+        now = self.now()
+        return [self.agents[a] for a in present if not injector.is_blocked(a, now)]
+
+    def occupied(self, node: int) -> bool:
+        """True when at least one agent body is at ``node`` (physical query)."""
+        return bool(self.occupancy[node])
+
+    def settled_agent_at(self, node: int) -> Optional[Agent]:
+        """The settled agent at ``node`` that answers probes right now."""
+        for agent in self.agents_at(node):
+            if agent.settled and self.fault_view(agent.agent_id).answers_probes:
+                return agent
+        return None
+
+    def settled_agents_at(self, node: int) -> List[Agent]:
+        """All settled agents at ``node`` that answer probes right now."""
+        return [
+            a
+            for a in self.agents_at(node)
+            if a.settled and self.fault_view(a.agent_id).answers_probes
+        ]
+
+    def positions(self) -> Dict[int, int]:
+        """Snapshot of ``agent_id -> node``."""
+        return {a.agent_id: a.position for a in self.agents.values()}
+
+    def finalize_metrics(self) -> RunMetrics:
+        """Fold per-agent memory peaks (and any fault/invariant counters) into
+        the run metrics and return them."""
+        self.metrics.record_memory(self.agents.values())
+        if self.invariant_checker is not None:
+            self.invariant_checker.finalize(self.now())
+            for name, value in self.invariant_checker.metrics_extra().items():
+                self.metrics.set_extra(name, value)
+        if self.fault_injector is not None:
+            for name, value in self.fault_injector.metrics_extra().items():
+                self.metrics.set_extra(name, value)
+        return self.metrics

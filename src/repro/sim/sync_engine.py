@@ -8,9 +8,14 @@ round (``agent_id -> port``), executes them in parallel, and advances the round
 counter.  Time complexity of a SYNC algorithm is exactly the number of
 ``step`` calls it makes -- it is never self-reported.
 
-The engine also provides the co-location queries that implement the local
-communication model: an agent may inspect (and, by convention of the
-algorithms, write to) the memory of agents at its own node only.
+The engine is a thin facade over the shared
+:class:`~repro.sim.kernel.ExecutionKernel`: the kernel owns the world (agent
+table, occupancy, move mechanics, fault wiring, observation queries) while
+this class contributes only the lockstep scheduling discipline -- the round
+counter, the per-round fault gate, and the simultaneous move batch.  The
+co-location queries implementing the local communication model (an agent may
+inspect, and by convention of the algorithms write to, the memory of agents
+at its own node only) are the kernel's, re-exported unchanged.
 """
 
 from __future__ import annotations
@@ -19,9 +24,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
-from repro.sim import instrumentation
 from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
+from repro.sim.kernel import ExecutionKernel
 from repro.sim.metrics import RunMetrics
 
 __all__ = ["SyncEngine"]
@@ -55,36 +60,54 @@ class SyncEngine:
         fault_injector: Optional[FaultInjector] = None,
         invariant_checker: Optional[InvariantChecker] = None,
     ) -> None:
-        self.graph = graph
-        self.agents: Dict[int, Agent] = {}
-        # Occupancy is a dense per-node list of id sets: node indices are the
-        # engine's hottest keys, so direct indexing beats dict hashing.
-        self._occupancy: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
-        for agent in agents:
-            if agent.agent_id in self.agents:
-                raise ValueError(f"duplicate agent id {agent.agent_id}")
-            self.agents[agent.agent_id] = agent
-            self._occupancy[agent.position].add(agent.agent_id)
-        if not self.agents:
-            raise ValueError("need at least one agent")
-        self.metrics = RunMetrics()
-        self._moves_per_agent: Dict[int, int] = {}
+        self._kernel = ExecutionKernel(
+            graph,
+            agents,
+            time_attr="rounds",
+            fault_injector=fault_injector,
+            invariant_checker=invariant_checker,
+        )
         self.max_rounds = max_rounds
-        config = instrumentation.current()
-        if fault_injector is None and config is not None:
-            fault_injector = config.make_injector(sorted(self.agents))
-        if invariant_checker is None and config is not None:
-            invariant_checker = config.make_checker(graph, self.agents)
-        elif invariant_checker is not None:
-            invariant_checker.attach(graph, self.agents)
-        self.fault_injector = fault_injector
-        self.invariant_checker = invariant_checker
+
+    # ------------------------------------------------------- kernel delegation
+    @property
+    def kernel(self) -> ExecutionKernel:
+        """The shared execution kernel this engine schedules."""
+        return self._kernel
+
+    @property
+    def graph(self) -> PortLabeledGraph:
+        return self._kernel.graph
+
+    @property
+    def agents(self) -> Dict[int, Agent]:
+        return self._kernel.agents
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return self._kernel.metrics
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        return self._kernel.fault_injector
+
+    @property
+    def invariant_checker(self) -> Optional[InvariantChecker]:
+        return self._kernel.invariant_checker
+
+    @property
+    def _occupancy(self) -> List[Set[int]]:
+        return self._kernel.occupancy
+
+    @property
+    def _moves_per_agent(self) -> Dict[int, int]:
+        return self._kernel.moves_per_agent
 
     # ----------------------------------------------------------------- round
     @property
     def round(self) -> int:
         """Number of completed rounds."""
-        return self.metrics.rounds
+        return self._kernel.metrics.rounds
 
     def step(self, moves: Mapping[int, Optional[int]] | None = None) -> None:
         """Execute one synchronous round.
@@ -95,14 +118,16 @@ class SyncEngine:
         simultaneously, exactly as in the SYNC model (no agent observes another
         on an edge).
         """
-        if self.max_rounds is not None and self.metrics.rounds >= self.max_rounds:
+        kernel = self._kernel
+        metrics = kernel.metrics
+        if self.max_rounds is not None and metrics.rounds >= self.max_rounds:
             raise RuntimeError(
                 f"exceeded max_rounds={self.max_rounds}; "
                 "the algorithm is probably not terminating"
             )
-        injector = self.fault_injector
+        injector = kernel.fault_injector
         if injector is not None:
-            now = self.metrics.rounds
+            now = metrics.rounds
             injector.begin_tick(now, self)
             blocked = injector.blocked_cycle_agents(now)
             if blocked:
@@ -112,7 +137,7 @@ class SyncEngine:
                 # interaction, so it can neither settle nor answer probes --
                 # exactly as the ASYNC engine skips a blocked activation.
                 for agent_id in sorted(blocked):
-                    if agent_id in self.agents:
+                    if agent_id in kernel.agents:
                         injector.record_blocked(agent_id, now)
             if moves:
                 moves = {
@@ -121,34 +146,10 @@ class SyncEngine:
                     if not injector.view(a, now).blocked_for_move
                 }
         if moves:
-            edge = self.graph.move
-            occupancy = self._occupancy
-            planned: List[tuple[Agent, int, int]] = []  # agent, dst, rev_port
-            # Validate every move against the *current* positions first ...
-            for agent_id, port in moves.items():
-                if port is None:
-                    continue
-                agent = self.agents[agent_id]
-                dst, rev = edge(agent.position, port)
-                planned.append((agent, dst, rev))
-            # ... then vacate all sources and apply the batch simultaneously,
-            # exactly as in the SYNC model (no agent observes another on an edge).
-            for agent, _dst, _rev in planned:
-                occupancy[agent.position].discard(agent.agent_id)
-            moves_per_agent = self._moves_per_agent
-            max_moves = self.metrics.max_moves_per_agent
-            for agent, dst, rev in planned:
-                agent.arrive(dst, rev)
-                occupancy[dst].add(agent.agent_id)
-                count = moves_per_agent.get(agent.agent_id, 0) + 1
-                moves_per_agent[agent.agent_id] = count
-                if count > max_moves:
-                    max_moves = count
-            self.metrics.total_moves += len(planned)
-            self.metrics.max_moves_per_agent = max_moves
-        self.metrics.rounds += 1
-        if self.invariant_checker is not None:
-            self.invariant_checker.after_tick(self.metrics.rounds)
+            kernel.apply_batch(moves)
+        metrics.rounds += 1
+        if kernel.invariant_checker is not None:
+            kernel.invariant_checker.after_tick(metrics.rounds)
 
     def idle_rounds(self, count: int) -> None:
         """Advance ``count`` rounds in which nobody the caller controls moves.
@@ -161,56 +162,34 @@ class SyncEngine:
             self.step({})
 
     # ------------------------------------------------------------ observation
-    def fault_view(self, agent_id: int) -> AgentFaultView:
-        """The agent's :class:`AgentFaultView` for the upcoming round.
+    # All observation queries are the kernel's (the v2 fault-visibility
+    # contract lives there, shared verbatim with the ASYNC engine).
 
-        The healthy view when no fault injector is installed; drivers gate
-        their on-behalf-of actions (settling an agent, conscripting it into a
-        group move) through this instead of reaching into the injector.
-        """
-        if self.fault_injector is None:
-            return AgentFaultView(agent_id=agent_id)
-        return self.fault_injector.view(agent_id, self.metrics.rounds)
+    def fault_view(self, agent_id: int) -> AgentFaultView:
+        """The agent's :class:`AgentFaultView` for the upcoming round."""
+        return self._kernel.fault_view(agent_id)
 
     def agents_at(self, node: int) -> List[Agent]:
-        """Agents at ``node`` that participate in communication this round.
-
-        This is the Communicate-phase query: a crashed/frozen agent's body
-        remains on the node (see :meth:`positions` / :meth:`occupied`) but it
-        executes no cycle, so it is invisible here -- it cannot answer probes,
-        be settled, or be instructed while blocked (v2 fault contract).
-        """
-        present = sorted(self._occupancy[node])
-        injector = self.fault_injector
-        if injector is None:
-            return [self.agents[a] for a in present]
-        now = self.metrics.rounds
-        return [self.agents[a] for a in present if not injector.is_blocked(a, now)]
+        """Agents at ``node`` that participate in communication this round."""
+        return self._kernel.agents_at(node)
 
     def occupied(self, node: int) -> bool:
         """True when at least one agent body is at ``node`` (physical query)."""
-        return bool(self._occupancy[node])
+        return self._kernel.occupied(node)
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
         """The settled agent at ``node`` that answers probes this round."""
-        for agent in self.agents_at(node):
-            if agent.settled and self.fault_view(agent.agent_id).answers_probes:
-                return agent
-        return None
+        return self._kernel.settled_agent_at(node)
+
+    def settled_agents_at(self, node: int) -> List[Agent]:
+        """All settled agents at ``node`` that answer probes this round."""
+        return self._kernel.settled_agents_at(node)
 
     def positions(self) -> Dict[int, int]:
         """Snapshot of ``agent_id -> node``."""
-        return {a.agent_id: a.position for a in self.agents.values()}
+        return self._kernel.positions()
 
     def finalize_metrics(self) -> RunMetrics:
         """Fold per-agent memory peaks (and any fault/invariant counters) into
         the run metrics and return them."""
-        self.metrics.record_memory(self.agents.values())
-        if self.invariant_checker is not None:
-            self.invariant_checker.finalize(self.metrics.rounds)
-            for name, value in self.invariant_checker.metrics_extra().items():
-                self.metrics.set_extra(name, value)
-        if self.fault_injector is not None:
-            for name, value in self.fault_injector.metrics_extra().items():
-                self.metrics.set_extra(name, value)
-        return self.metrics
+        return self._kernel.finalize_metrics()

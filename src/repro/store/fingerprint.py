@@ -6,6 +6,8 @@ A run's fingerprint pins down *everything* that determines its record bytes:
   ``k``, ports, placement, adversary, master seed),
 * the fault profile and invariant-checking flag (they change the fault
   schedule and the ``fault_events``/``invariant_violations`` fields),
+* the synchrony discipline (``scheduler``/``scheduler_params``; omitted for
+  the classic ``"async"`` default so pre-scheduler fingerprints are stable),
 * the algorithm name, and
 * the algorithm's **code-version tag** from the registry
   (:attr:`~repro.runner.registry.AlgorithmSpec.code_version`).
@@ -48,6 +50,15 @@ def fingerprint_material(
         "faults": dict(scenario.faults),
         "check_invariants": scenario.check_invariants,
     }
+    # The synchrony discipline changes the activation schedule, hence the
+    # record bytes -- it must key the cache.  The classic "async" default is
+    # omitted (matching ScenarioSpec.to_dict), so every pre-scheduler
+    # fingerprint -- and with it every existing store row -- stays valid.
+    if scenario.scheduler != "async":
+        envelope["scheduler"] = {
+            "name": scenario.scheduler,
+            "params": dict(scenario.scheduler_params),
+        }
     return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
 
 

@@ -38,6 +38,66 @@ def test_run_json_output_is_a_full_record(capsys):
     assert record["rounds"] > 0
 
 
+def test_run_scheduler_axis_round_trips(capsys):
+    code = main([
+        "run", "--algorithm", "rooted_async", "--family", "ring",
+        "--param", "n=12", "--k", "6", "--scheduler", "semi-sync:0.5", "--json",
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["status"] == "ok" and record["dispersed"]
+    assert record["scenario"]["scheduler"] == "semi-sync"
+    assert record["scenario"]["scheduler_params"] == {"p": 0.5}
+
+
+def test_run_sync_algorithm_under_scheduler_is_unsupported(capsys):
+    code = main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=12", "--k", "6", "--scheduler", "lockstep",
+    ])
+    assert code == 1
+    assert "SYNC algorithm" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("text", [
+    "fsync",
+    "bounded-delay:x",
+    "bounded-delay:0",
+    "semi-sync:lots",
+    "semi-sync:2.0",
+    "semi-sync:0",
+    "lockstep:1",
+])
+def test_malformed_scheduler_exits_two_with_clear_message(text, capsys):
+    code = main([
+        "run", "--algorithm", "rooted_async", "--family", "ring",
+        "--param", "n=12", "--k", "6", "--scheduler", text,
+    ])
+    assert code == 2
+    assert "scheduler" in capsys.readouterr().err
+
+
+def test_sweep_scheduler_restricts_grid_to_async_capable(tmp_path, capsys):
+    out = tmp_path / "sched.json"
+    code = main([
+        "sweep", "--smoke", "--scheduler", "bounded-delay:2",
+        "--check-invariants", "--out", str(out), "--quiet",
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    records = payload["records"]
+    assert records, "scheduler sweep produced no records"
+    for record in records:
+        assert record["scenario"]["scheduler"] == "bounded-delay"
+        assert record["scenario"]["scheduler_params"] == {"delay_factor": 2}
+        assert record["status"] == "ok"
+        assert record["dispersed"] is True
+        assert not record["invariant_violations"]
+    assert {r["algorithm"] for r in records} == {
+        "general_async", "ks_opodis21", "rooted_async",
+    }
+
+
 def test_run_reports_failure_via_exit_code(capsys):
     code = main([
         "run", "--algorithm", "rooted_sync", "--family", "line",

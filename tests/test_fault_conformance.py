@@ -127,14 +127,21 @@ def run_sync_walk(schedule):
     return engine, injector, probe_log
 
 
-def run_async_walk(schedule):
+def run_async_walk(schedule, adversary=None):
+    """The async twin of :func:`run_sync_walk`.
+
+    ``adversary`` must emit one id-order pass per logical round (the default
+    round-robin does; ``LockstepScheduler`` -- behaviorally identical by
+    design -- reuses this harness in ``tests/test_scheduler_conformance.py``).
+    """
     graph = generators.line(N)
     agents = make_agents(K, max_degree=graph.max_degree)
     injector = FaultInjector.from_schedule(
         [a.agent_id for a in agents], **_scaled(schedule, K)
     )
     injector.record_observations = True
-    adversary = RoundRobinAdversary()
+    if adversary is None:
+        adversary = RoundRobinAdversary()
     engine = AsyncEngine(graph, agents, adversary=adversary, fault_injector=injector)
 
     def walk_and_settle(agent):
