@@ -1,0 +1,85 @@
+"""Kernel-backend throughput: the ROADMAP's 10^5-node interactive target.
+
+This is the acceptance lock for the vectorized backend: on the canonical
+bench world (a ~10^5-node 2D grid with one agent per node, ``repro bench``'s
+full-size configuration) the vectorized batch-stepping tier must sustain at
+least **20x** the reference backend's steps/s on the pure random-walk
+workload.  The committed baseline lives at ``benchmarks/BENCH_kernel.json``;
+CI re-gates the ratio with ``repro bench --quick --check`` (bench-guard), and
+this module regenerates the model-level report locally.
+
+The measurement reuses :mod:`repro.runner.bench` wholesale -- the CLI, the
+guard, and this lock must never measure different things.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.bench import WORKLOADS, check_report, render, run_bench
+from repro.sim.backends import backend_available
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.skipif(
+    not backend_available("vectorized"), reason="numpy not installed"
+)
+
+#: The acceptance bar (full-size world).  The committed baseline on the
+#: reference machine measures ~30x; 20x leaves headroom for slower CI boxes
+#: while still catching a vectorization regression of any real size.
+MIN_SPEEDUP = 20.0
+FULL_NODES = 100_000
+
+#: The quick tier reuses CI's bench-guard configuration: smaller world,
+#: shorter budget, and a lower bar (per-call overheads weigh more).
+QUICK_MIN_SPEEDUP = 8.0
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return run_bench(["reference", "vectorized"], nodes=FULL_NODES)
+
+
+def test_vectorized_random_walk_hits_20x_on_1e5_nodes(full_report, record_rows):
+    payload = full_report
+    tier = payload["tiers"]["full"]
+    report(
+        f"Kernel backend throughput ({tier['nodes']} nodes, {tier['agents']} agents)",
+        render(payload).splitlines(),
+    )
+    speedup = tier["speedups"]["random_walk"]["vectorized"]
+    record_rows.append(
+        ("backend-throughput", f"random_walk vectorized speedup = {speedup:.1f}x")
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized random_walk speedup {speedup:.1f}x fell below the "
+        f"{MIN_SPEEDUP:.0f}x acceptance bar"
+    )
+
+
+def test_vectorized_dispersion_workload_also_scales(full_report, record_rows):
+    """The settle rule rides the same array path; it must not eat the win."""
+    speedup = full_report["tiers"]["full"]["speedups"]["dispersion"]["vectorized"]
+    record_rows.append(
+        ("backend-throughput", f"dispersion vectorized speedup = {speedup:.1f}x")
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_full_report_matches_committed_baseline_schema(full_report, tmp_path):
+    """The report this module measures gates cleanly against the committed
+    baseline with CI's tolerance -- the same check bench-guard runs."""
+    problems = check_report(full_report, "benchmarks/BENCH_kernel.json", tolerance=0.25)
+    assert problems == [], "\n".join(problems)
+
+
+def test_quick_bench_sustains_the_guard_floor():
+    """CI's bench-guard leg (quick tier) keeps a usable signal."""
+    payload = run_bench(["reference", "vectorized"], quick=True)
+    assert payload["quick"] is True
+    assert list(payload["tiers"]) == ["quick"]
+    tier = payload["tiers"]["quick"]
+    assert set(WORKLOADS) == {r["workload"] for r in tier["results"]}
+    speedup = tier["speedups"]["random_walk"]["vectorized"]
+    assert speedup >= QUICK_MIN_SPEEDUP

@@ -21,11 +21,18 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=[
-        "numpy",
         "networkx",
     ],
     extras_require={
+        # numpy powers the vectorized kernel backend and the scaling fits;
+        # everything else (reference backend, all algorithms, the CLI) runs
+        # on the stdlib.  `repro bench`/`--backend vectorized` report a clear
+        # error pointing here when numpy is absent.
+        "fast": [
+            "numpy",
+        ],
         "dev": [
+            "numpy",
             "pytest",
             "pytest-benchmark",
             "hypothesis",

@@ -13,8 +13,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
-import numpy as np
-
 __all__ = ["ScalingFit", "fit_power_law", "fit_linear_ratio", "normalized_ratios"]
 
 
@@ -34,7 +32,19 @@ class ScalingFit:
 
 
 def fit_power_law(ks: Sequence[float], times: Sequence[float]) -> ScalingFit:
-    """Least-squares fit of ``log time`` against ``log k``."""
+    """Least-squares fit of ``log time`` against ``log k``.
+
+    numpy is imported lazily: this module rides along on ``repro.analysis``
+    (hence on ``import repro``), and the base install works without the
+    ``fast`` extra -- only actually fitting requires numpy.
+    """
+    try:
+        import numpy as np
+    except ImportError:
+        raise ImportError(
+            "fit_power_law needs numpy; install the fast extra "
+            "(pip install 'repro-dispersion[fast]')"
+        ) from None
     if len(ks) != len(times) or len(ks) < 2:
         raise ValueError("need at least two (k, time) points")
     x = np.log(np.asarray(ks, dtype=float))

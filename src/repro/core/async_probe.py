@@ -36,7 +36,7 @@ __all__ = ["async_probe", "guest_see_off"]
 
 def _resident_settler(ctx, node: int) -> Optional[Agent]:
     """The settler whose home is ``node`` and who is currently there."""
-    for agent in ctx.engine.agents_at(node):
+    for agent in ctx.engine.kernel.agents_at(node):
         if agent.settled and agent.home == node:
             return agent
     return None
@@ -110,7 +110,7 @@ def async_probe(ctx, w: int):
     while checked < limit and found is None:
         probers = [
             a
-            for a in ctx.engine.agents_at(w)
+            for a in ctx.engine.kernel.agents_at(w)
             if a is not settler_w and a.agent_id != leader.agent_id
         ]
         batch = min(len(probers) + 1, limit - checked)  # +1: the leader probes too

@@ -129,7 +129,7 @@ class GeneralAsyncDispersion:
         metrics = self.engine.finalize_metrics()
         return DispersionResult(
             dispersed=is_dispersed(self.agents.values()),
-            positions=self.engine.positions(),
+            positions=self.engine.kernel.positions(),
             metrics=metrics,
             dfs_parent=list(self.dfs_parent),
             algorithm="GeneralAsyncDisp",
@@ -142,12 +142,12 @@ class GeneralAsyncDispersion:
         pool = [
             a
             for a in members
-            if not a.settled and not self.engine.fault_view(a.agent_id).blocked_for_cycle
+            if not a.settled and not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
         ]
         return min(pool, key=lambda a: a.agent_id) if pool else None
 
     def _free_node(self, node: int) -> bool:
-        return not any(a.settled and a.home == node for a in self.engine.agents_at(node))
+        return not any(a.settled and a.home == node for a in self.engine.kernel.agents_at(node))
 
     def _path_to_nearest_free(self, start: int) -> Optional[List[int]]:
         if self._free_node(start):
@@ -179,7 +179,7 @@ class GeneralAsyncDispersion:
             mobile = [
                 a
                 for a in group
-                if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+                if not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
             ]
             if not mobile:
                 # Everybody left is crashed or frozen.  Frozen agents thaw, so
@@ -189,7 +189,7 @@ class GeneralAsyncDispersion:
                 ids = tuple(a.agent_id for a in group)
                 self.engine.run_until(
                     lambda ids=ids: any(
-                        not self.engine.fault_view(i).blocked_for_cycle for i in ids
+                        not self.engine.kernel.fault_view(i).blocked_for_cycle for i in ids
                     )
                 )
                 group = [a for a in group if not a.settled]
@@ -219,19 +219,19 @@ class GeneralAsyncDispersion:
             eligible = [
                 a
                 for a in walkers
-                if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+                if not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
             ]
             if not eligible:
                 ids = tuple(a.agent_id for a in walkers)
                 self.engine.run_until(
                     lambda ids=ids: any(
-                        not self.engine.fault_view(i).blocked_for_cycle for i in ids
+                        not self.engine.kernel.fault_view(i).blocked_for_cycle for i in ids
                     )
                 )
                 eligible = [
                     a
                     for a in walkers
-                    if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+                    if not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
                 ]
             settler = min(eligible, key=lambda a: a.agent_id)
             settler.settle(target, None)

@@ -166,7 +166,7 @@ class GeneralSyncDispersion:
         metrics = self.engine.finalize_metrics()
         return DispersionResult(
             dispersed=is_dispersed(self.agents.values()),
-            positions=self.engine.positions(),
+            positions=self.engine.kernel.positions(),
             metrics=metrics,
             dfs_parent=list(self.dfs_parent),
             algorithm="GeneralSyncDisp",
@@ -183,13 +183,13 @@ class GeneralSyncDispersion:
         pool = [
             a
             for a in members
-            if not a.settled and not self.engine.fault_view(a.agent_id).blocked_for_cycle
+            if not a.settled and not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
         ]
         return min(pool, key=lambda a: a.agent_id) if pool else None
 
     def _free_node(self, node: int) -> bool:
         """A node is free when no settled agent calls it home."""
-        return not any(a.settled and a.home == node for a in self.engine.agents_at(node))
+        return not any(a.settled and a.home == node for a in self.engine.kernel.agents_at(node))
 
     def _path_to_nearest_free(self, start: int) -> Optional[List[int]]:
         """BFS (simulator-side pathfinding, see DESIGN.md §3) to the closest free
@@ -224,7 +224,7 @@ class GeneralSyncDispersion:
             mobile = [
                 a
                 for a in group
-                if not self.engine.fault_view(a.agent_id).blocked_for_cycle
+                if not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
             ]
             if not mobile:
                 # Everybody left is crashed or frozen.  Frozen agents thaw, so
@@ -264,7 +264,7 @@ class GeneralSyncDispersion:
                 a
                 for a in walkers
                 if a.position == current
-                and not self.engine.fault_view(a.agent_id).blocked_for_cycle
+                and not self.engine.kernel.fault_view(a.agent_id).blocked_for_cycle
             ]
             if arrived:
                 settler = min(arrived, key=lambda a: a.agent_id)

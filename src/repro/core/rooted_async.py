@@ -121,7 +121,7 @@ class RootedAsyncDispersion:
         metrics = self.engine.finalize_metrics()
         return DispersionResult(
             dispersed=is_dispersed(self.agents.values()),
-            positions=self.engine.positions(),
+            positions=self.engine.kernel.positions(),
             metrics=metrics,
             dfs_parent=list(self.dfs_parent),
             algorithm="RootedAsyncDisp",
@@ -152,7 +152,7 @@ class RootedAsyncDispersion:
     # --------------------------------------------------------------- helpers
     def settler_at(self, node: int) -> Optional[Agent]:
         """The settler whose home is ``node`` and who is currently there."""
-        for agent in self.engine.agents_at(node):
+        for agent in self.engine.kernel.agents_at(node):
             if agent.settled and agent.home == node:
                 return agent
         return None
@@ -162,7 +162,7 @@ class RootedAsyncDispersion:
         # or frozen agent can never be chosen to settle (v2 fault contract).
         candidates = [
             a
-            for a in self.engine.agents_at(node)
+            for a in self.engine.kernel.agents_at(node)
             if not a.settled and a.agent_id in self.agents
         ]
         if not candidates:
@@ -180,7 +180,7 @@ class RootedAsyncDispersion:
     def _followers_at(self, node: int) -> List[Agent]:
         return [
             a
-            for a in self.engine.agents_at(node)
+            for a in self.engine.kernel.agents_at(node)
             if not a.settled and a is not self.leader and a.agent_id in self.agents
         ]
 

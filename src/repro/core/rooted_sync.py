@@ -227,7 +227,7 @@ class RootedSyncDispersion:
         """
         candidates = [
             a
-            for a in self.engine.agents_at(self.root)
+            for a in self.engine.kernel.agents_at(self.root)
             if not a.settled and a.agent_id in self.agents
         ]
         if not candidates:
@@ -388,7 +388,7 @@ class RootedSyncDispersion:
         # Leader walks to w ...
         self.tick({self.leader.agent_id: port_pw_to_w})
         settler = None
-        for agent in self.engine.agents_at(w):
+        for agent in self.engine.kernel.agents_at(w):
             if agent.settled and agent.home == w:
                 settler = agent
                 break
@@ -444,13 +444,13 @@ class RootedSyncDispersion:
         """
         candidates = [
             a
-            for a in self.engine.agents_at(node)
+            for a in self.engine.kernel.agents_at(node)
             if not a.settled and a is not self.leader and a.agent_id in self.agents
         ]
         explorers = [a for a in candidates if a not in self.seekers]
         pool = explorers if explorers else candidates
         if not pool:
-            if self.engine.fault_view(self.leader.agent_id).blocked_for_cycle:
+            if self.engine.kernel.fault_view(self.leader.agent_id).blocked_for_cycle:
                 raise RuntimeError(
                     f"no fault-eligible agent available to settle at node {node}"
                 )
@@ -469,7 +469,7 @@ class RootedSyncDispersion:
         """Re-traversal settlement: smallest-ID unsettled agent settles at ``node``."""
         candidates = [
             a
-            for a in self.engine.agents_at(node)
+            for a in self.engine.kernel.agents_at(node)
             if not a.settled and a.agent_id in self.agents
         ]
         if not candidates:
@@ -508,7 +508,7 @@ class RootedSyncDispersion:
             # be mistaken for a settler of this node.
             other_settled = any(
                 a.settled and a.home == here and a.agent_id != osc.agent.agent_id
-                for a in self.engine.agents_at(here)
+                for a in self.engine.kernel.agents_at(here)
             )
             osc.after_step(other_settled)
 
@@ -516,7 +516,7 @@ class RootedSyncDispersion:
         """Move every unsettled group member currently at ``node`` through ``port``."""
         moves = {
             a.agent_id: port
-            for a in self.engine.agents_at(node)
+            for a in self.engine.kernel.agents_at(node)
             if not a.settled and a.agent_id in self.agents
         }
         self.tick(moves)
@@ -560,7 +560,7 @@ class RootedSyncDispersion:
         metrics = self.engine.finalize_metrics()
         result = DispersionResult(
             dispersed=is_dispersed(self.agents.values()),
-            positions=self.engine.positions(),
+            positions=self.engine.kernel.positions(),
             metrics=metrics,
             dfs_parent=list(self.dfs_parent),
             algorithm="RootedSyncDisp",

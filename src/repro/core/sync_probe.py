@@ -93,7 +93,7 @@ def sync_probe(ctx, w: int) -> Optional[int]:
 
 def _settled_present(ctx, node: int, probing_agent: Agent) -> bool:
     """True when a settled agent (other than the prober) is at ``node``."""
-    for other in ctx.engine.agents_at(node):
+    for other in ctx.engine.kernel.agents_at(node):
         if other.agent_id != probing_agent.agent_id and other.settled:
             return True
     return False

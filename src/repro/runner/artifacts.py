@@ -93,6 +93,7 @@ _CSV_SCENARIO_FIELDS = (
     "seed",
     "faults",
     "check_invariants",
+    "backend",
 )
 _CSV_RECORD_FIELDS = (
     "algorithm",

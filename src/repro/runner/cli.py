@@ -1,6 +1,6 @@
 """``python -m repro`` / ``repro``: the experiment-runner command line.
 
-Four subcommand families mirror the workflow the benchmarks automate:
+Five subcommand families mirror the workflow the benchmarks automate:
 
 * ``repro run``    -- one algorithm on one scenario, summary on stdout;
 * ``repro sweep``  -- a scenario grid (from a JSON spec file or the built-in
@@ -9,10 +9,18 @@ Four subcommand families mirror the workflow the benchmarks automate:
   store (cache hits skip execution, finished records are committed one by
   one, and ``--resume`` completes an interrupted sweep);
 * ``repro report`` -- Table-1 style comparison tables from a sweep artifact;
+* ``repro bench``  -- kernel steps/s per backend as a schema-versioned JSON
+  report; ``--check`` gates the cross-backend speedup ratio against a
+  committed baseline (CI's ``bench-guard``);
 * ``repro db``     -- the experiment-store toolbox: ``query`` filtered
   records into artifact files, ``diff`` two snapshots (stores or artifacts)
   for metric regressions, ``import`` legacy artifacts, ``gc`` stale
   code-version records, ``stats`` the store's shape.
+
+``run``/``sweep`` accept ``--backend {reference,vectorized}`` to pick the
+kernel state layout; records are backend-invariant apart from the scenario's
+own ``backend`` tag (the differential suite pins this), so the axis buys
+wall-clock speed, never different science.
 
 ``--faults`` / ``--check-invariants`` attach the fault-model and
 invariant-checking subsystem (:mod:`repro.sim.faults` /
@@ -39,7 +47,10 @@ Examples
     repro sweep --spec myspec.json --out artifacts/mysweep.json --csv artifacts/mysweep.csv
     repro sweep --smoke --store artifacts/runs.sqlite --progress --out artifacts/smoke.json
     repro sweep --smoke --store artifacts/runs.sqlite --resume
+    repro sweep --smoke --backend vectorized --out artifacts/smoke-vec.json
     repro report artifacts/smoke.json
+    repro bench --quick --out artifacts/BENCH_kernel.json
+    repro bench --quick --check benchmarks/BENCH_kernel.json --tolerance 0.25
     repro db query artifacts/runs.sqlite --algorithm rooted_sync --out artifacts/q.json
     repro db diff artifacts/old.json artifacts/runs.sqlite
     repro db import artifacts/runs.sqlite artifacts/legacy-sweep.json
@@ -70,6 +81,12 @@ from repro.runner.scenario import (
     ScenarioSpec,
 )
 from repro.runner.sweep import SweepSpec, run_sweep, smoke_sweep
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    available_backends,
+    require_backend,
+)
 from repro.sim.faults import parse_faults
 
 __all__ = ["main", "build_parser"]
@@ -189,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="continuously verify dispersion invariants; violations fail the run",
     )
+    run_p.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=list(BACKEND_NAMES),
+        help="kernel world-state backend: reference (pure Python, the oracle) "
+        "or vectorized (numpy struct-of-arrays; needs the 'fast' extra). "
+        "Records are identical either way, only speed differs",
+    )
     run_p.add_argument("--json", action="store_true", help="print the full record as JSON")
 
     sweep_p = sub.add_parser("sweep", help="run a scenario grid and write artifacts")
@@ -227,6 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAMES",
         help="comma-separated subset of the sweep's algorithms, or 'paper' for "
         "the paper's own algorithms only",
+    )
+    sweep_p.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="run every scenario on this kernel backend (availability is "
+        "checked up front, so a missing numpy fails fast instead of erroring "
+        "every job)",
     )
     sweep_p.add_argument(
         "--store",
@@ -308,12 +341,60 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p = db_sub.add_parser("stats", help="summarize a store's contents")
     stats_p.add_argument("store", help="path to an experiment store")
 
-    sub.add_parser("list", help="list registered algorithms")
+    bench_p = sub.add_parser(
+        "bench",
+        help="measure kernel steps-per-second per backend and write BENCH_kernel.json",
+    )
+    bench_p.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        choices=list(BACKEND_NAMES),
+        help="backend(s) to measure (repeatable; default: every available one)",
+    )
+    bench_p.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        choices=["random_walk", "dispersion"],
+        help="workload(s) to measure (repeatable; default: both)",
+    )
+    bench_p.add_argument("--nodes", type=int, default=None, help="graph size (default 100000; --quick 20000)")
+    bench_p.add_argument("--agents", type=int, default=None, help="population size (default: nodes)")
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI sizing: smaller graph, shorter timing budget",
+    )
+    bench_p.add_argument(
+        "--out",
+        default="artifacts/BENCH_kernel.json",
+        help="where to write the schema-versioned report",
+    )
+    bench_p.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed BENCH_kernel.json: the "
+        "vectorized/reference speedup ratio per workload must stay within "
+        "--tolerance of the baseline's (absolute steps/s are reported but "
+        "not gated -- they are hardware-dependent)",
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative speedup regression for --check (default 0.25)",
+    )
+
+    sub.add_parser("list", help="list registered algorithms and backends")
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scheduler, scheduler_params = _parse_scheduler(args.scheduler)
+    require_backend(args.backend)  # fail fast with install guidance
     scenario = ScenarioSpec(
         family=args.family,
         params=_parse_params(args.param),
@@ -328,6 +409,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=parse_faults(args.faults) if args.faults is not None else {},
         check_invariants=args.check_invariants,
+        backend=args.backend,
     )
     record = run_scenario(args.algorithm, scenario)
     if args.json:
@@ -432,6 +514,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = sweep.with_scheduler(scheduler, scheduler_params)
     if args.algorithms:
         sweep = sweep.filter_algorithms(_parse_algorithm_names(args.algorithms))
+    if args.backend:
+        require_backend(args.backend)  # one clear error beats a sweep of them
+        sweep = sweep.with_backend(args.backend)
     profiles = [parse_faults(text) for text in args.faults]
     if profiles:
         # --check-invariants switches checking on everywhere; without it each
@@ -645,6 +730,40 @@ def _cmd_list() -> int:
             f"{spec.name:14s} {spec.setting:5s} {spec.config:7s} "
             f"{spec.claimed_bound:15s} {spec.display}{flags}"
         )
+    print()
+    usable = set(available_backends())
+    for name in BACKEND_NAMES:
+        status = "available" if name in usable else "unavailable (install the 'fast' extra)"
+        default = " [default]" if name == DEFAULT_BACKEND else ""
+        print(f"backend {name:11s} {status}{default}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner import bench as bench_mod
+
+    backends = list(dict.fromkeys(args.backend)) or available_backends()
+    for name in backends:
+        require_backend(name)
+    workloads = list(dict.fromkeys(args.workload)) or list(bench_mod.WORKLOADS)
+    payload = bench_mod.run_bench(
+        backends=backends,
+        workloads=workloads,
+        nodes=args.nodes,
+        agents=args.agents,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(bench_mod.render(payload))
+    path = bench_mod.write_report(payload, args.out)
+    print(f"wrote bench report to {path}")
+    if args.check:
+        problems = bench_mod.check_report(payload, args.check, tolerance=args.tolerance)
+        if problems:
+            for line in problems:
+                print(f"BENCH REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"bench-guard: speedups within {args.tolerance:.0%} of {args.check}")
     return 0
 
 
@@ -659,6 +778,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "db":
             return _cmd_db(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_list()
     except BrokenPipeError:
         # stdout piped into `head` etc.; exiting quietly is the convention.

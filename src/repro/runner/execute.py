@@ -10,8 +10,11 @@ complete artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
+from repro.agents.agent import Agent
+from repro.agents.memory import MemoryModel
+from repro.graph.port_graph import PortLabeledGraph
 from repro.runner.registry import AlgorithmSpec, get_algorithm, supports
 from repro.runner.scenario import (
     ScenarioSpec,
@@ -21,9 +24,13 @@ from repro.runner.scenario import (
     build_scheduler,
     derive_seed,
 )
+from repro.sim.adversary import Adversary
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.faults import FaultSchedule
 from repro.sim.instrumentation import InstrumentationConfig, instrument
+from repro.sim.sync_engine import SyncEngine
 
-__all__ = ["RunRecord", "run_scenario"]
+__all__ = ["RunRecord", "build_engine", "run_scenario"]
 
 
 @dataclass
@@ -78,6 +85,88 @@ class RunRecord:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
         return cls(**data)
+
+
+def build_engine(
+    scenario: Optional[ScenarioSpec] = None,
+    *,
+    setting: str = "sync",
+    graph: Optional[PortLabeledGraph] = None,
+    agents: Optional[Iterable[Agent]] = None,
+    adversary: Optional[Adversary] = None,
+    max_rounds: Optional[int] = None,
+    max_activations: Optional[int] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    record_fault_observations: bool = False,
+    check_invariants: bool = False,
+    backend: Optional[str] = None,
+) -> Union[SyncEngine, AsyncEngine]:
+    """The one factory behind every engine+injector+checker construction.
+
+    Two modes share the same wiring (and replace the four copies that used to
+    live in the runner, the conformance suite, and both engine facades):
+
+    **Scenario mode** (``scenario`` given): materialize the spec's graph and
+    placements, number agents ``1..k`` across the placement nodes in node
+    order, build the spec's scheduler for ASYNC engines, and construct the
+    engine under the spec's full instrumentation (faults, invariants,
+    backend) exactly as :func:`run_scenario` instruments algorithm drivers.
+    Keyword arguments override the corresponding spec-derived pieces.
+
+    **Explicit mode** (``graph`` + ``agents`` given): wire a prepared world,
+    optionally pinning an exact :class:`~repro.sim.faults.FaultSchedule` --
+    the conformance suite's construction, where SYNC and ASYNC runs of one
+    scenario must face the *same* adversary.
+
+    ``setting`` picks the engine (``"sync"``/``"async"``); ``backend`` the
+    kernel state layout (default: the scenario's, else ``"reference"``).
+    """
+    if scenario is not None:
+        if graph is None:
+            graph = build_graph(scenario)
+        if agents is None:
+            placements = build_placements(scenario, graph)
+            model = MemoryModel(k=scenario.k, max_degree=graph.max_degree)
+            agents = []
+            next_id = 1
+            for node in sorted(placements):
+                for _ in range(placements[node]):
+                    agents.append(Agent(next_id, node, model))
+                    next_id += 1
+        if adversary is None and setting == "async":
+            adversary = build_scheduler(scenario)
+        if backend is None:
+            backend = scenario.backend
+        config = build_instrumentation(scenario)
+        if config is None and (record_fault_observations or check_invariants):
+            config = InstrumentationConfig()
+        if config is not None:
+            if record_fault_observations:
+                config.record_fault_observations = True
+            if check_invariants:
+                config.check_invariants = True
+    elif graph is None or agents is None:
+        raise ValueError("build_engine needs a scenario or explicit graph+agents")
+    else:
+        config = None
+        if fault_schedule is not None or check_invariants:
+            config = InstrumentationConfig(
+                fault_schedule=fault_schedule,
+                record_fault_observations=record_fault_observations,
+                check_invariants=check_invariants,
+            )
+    with instrument(config):
+        if setting == "sync":
+            return SyncEngine(graph, agents, max_rounds=max_rounds, backend=backend)
+        if setting == "async":
+            return AsyncEngine(
+                graph,
+                agents,
+                adversary=adversary,
+                max_activations=max_activations,
+                backend=backend,
+            )
+    raise ValueError(f"setting must be 'sync' or 'async', got {setting!r}")
 
 
 def run_scenario(

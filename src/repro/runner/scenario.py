@@ -30,6 +30,7 @@ from repro.sim.adversary import (
     SemiSyncScheduler,
     StarvationAdversary,
 )
+from repro.sim.backends import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.sim.faults import FaultSpec
 from repro.sim.instrumentation import InstrumentationConfig
 
@@ -38,6 +39,7 @@ __all__ = [
     "ADVERSARIES",
     "SCHEDULERS",
     "PLACEMENTS",
+    "BACKENDS",
     "ScenarioSpec",
     "derive_seed",
     "derive_fault_seed",
@@ -81,6 +83,12 @@ SCHEDULERS = ("async", "lockstep", "semi-sync", "bounded-delay")
 #: Initial-placement policies: ``rooted`` puts all k agents on ``start_node``;
 #: ``split`` spreads them over ``placement_parts`` evenly spaced nodes.
 PLACEMENTS = ("rooted", "split")
+
+#: Kernel backends a spec may name (see :mod:`repro.sim.backends`).  Like the
+#: graph families, this is a *name* whitelist: availability (numpy installed?)
+#: is an environment property checked when the backend is instantiated, so
+#: spec files stay portable across machines.
+BACKENDS = BACKEND_NAMES
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,14 @@ class ScenarioSpec:
     check_invariants:
         Attach an :class:`~repro.sim.invariants.InvariantChecker` to the run's
         engine(s); violation counts land in the run record.
+    backend:
+        Kernel world-state backend (a key of :data:`BACKENDS`).  The default
+        ``"reference"`` is *omitted* from the serialized spec, the canonical
+        key/digest, and the store fingerprint -- the scheduler-field trick
+        again -- so every pre-backend record, artifact, and store row keeps
+        its exact bytes.  The backend is excluded from all seed derivation:
+        it must never change what a run computes, only how fast (the
+        differential suite enforces record equality across backends).
     """
 
     family: str
@@ -146,6 +162,7 @@ class ScenarioSpec:
     seed: int = 0
     faults: Mapping[str, Any] = field(default_factory=dict)
     check_invariants: bool = False
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.family not in GRAPH_FAMILIES:
@@ -159,6 +176,8 @@ class ScenarioSpec:
             raise ValueError(f"unknown adversary {self.adversary!r}; known: {ADVERSARIES}")
         if self.scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {self.scheduler!r}; known: {SCHEDULERS}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; known: {BACKENDS}")
         if self.scheduler_params and self.scheduler == "async":
             raise ValueError(
                 "scheduler_params need a non-'async' scheduler; the classic "
@@ -219,6 +238,11 @@ class ScenarioSpec:
         if self.scheduler != "async":
             data["scheduler"] = self.scheduler
             data["scheduler_params"] = dict(self.scheduler_params)
+        # The backend serializes only when non-default, for the same byte
+        # stability; unlike the scheduler it never changes the record's
+        # *measurements*, only which kernel state layout computed them.
+        if self.backend != DEFAULT_BACKEND:
+            data["backend"] = self.backend
         data["faults"] = dict(self.faults)
         data["check_invariants"] = self.check_invariants
         return data
@@ -278,12 +302,24 @@ class ScenarioSpec:
             scheduler_params=dict(scheduler_params) if scheduler_params else {},
         )
 
+    def with_backend(self, backend: str) -> "ScenarioSpec":
+        """The same scenario computed by a different kernel backend.
+
+        Everything observable -- graph, placements, seeds, schedules, and the
+        run's measured record -- is unchanged by construction (the
+        differential suite pins this); only the execution representation and
+        its speed differ.
+        """
+        return replace(self, backend=backend)
+
     def label(self) -> str:
         """Compact human-readable tag used in logs and CSV rows."""
         params = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
         tag = f"{self.family}({params})/k={self.k}/seed={self.seed}"
         if self.scheduler != "async":
             tag += f"/sched={self.scheduler}"
+        if self.backend != DEFAULT_BACKEND:
+            tag += f"/backend={self.backend}"
         return tag
 
 
@@ -376,18 +412,26 @@ def build_scheduler(spec: ScenarioSpec) -> Adversary:
 
 
 def build_instrumentation(spec: ScenarioSpec) -> Optional[InstrumentationConfig]:
-    """Fault/invariant instrumentation for the scenario (``None`` when plain).
+    """Fault/invariant/backend instrumentation for the scenario (``None`` when plain).
 
     The returned config is handed to :func:`repro.sim.instrumentation.instrument`
-    around the algorithm run; engines constructed inside pick it up.
+    around the algorithm run; engines constructed inside pick it up.  A
+    non-default backend needs a config even for a fault-free unchecked run:
+    the ambient context is the only channel reaching engines that algorithm
+    drivers build internally.
     """
     fault_spec = FaultSpec.from_dict(spec.faults)
-    if not fault_spec.is_active and not spec.check_invariants:
+    if (
+        not fault_spec.is_active
+        and not spec.check_invariants
+        and spec.backend == DEFAULT_BACKEND
+    ):
         return None
     return InstrumentationConfig(
         faults=fault_spec if fault_spec.is_active else None,
         fault_seed=derive_fault_seed(spec),
         check_invariants=spec.check_invariants,
+        backend=spec.backend if spec.backend != DEFAULT_BACKEND else None,
     )
 
 

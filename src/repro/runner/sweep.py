@@ -131,6 +131,16 @@ class SweepSpec:
         ]
         return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
 
+    def with_backend(self, backend: str) -> "SweepSpec":
+        """Run every scenario of this sweep on a different kernel backend.
+
+        Records are guaranteed identical to the default-backend sweep apart
+        from the scenario's own ``backend`` tag (the differential suite pins
+        this); the point is wall-clock speed on large grids.
+        """
+        scenarios = [scenario.with_backend(backend) for scenario in self.scenarios]
+        return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
+
     def with_invariants(self, check_invariants: bool = True) -> "SweepSpec":
         """Toggle invariant checking everywhere *without* touching fault profiles.
 

@@ -40,6 +40,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Unio
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
 from repro.sim.adversary import Adversary, RandomAdversary
+from repro.sim.backends import KernelBackend
 from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.kernel import ExecutionKernel
@@ -92,6 +93,15 @@ class AsyncEngine:
         Optional fault model and run-time safety checks (see
         :mod:`repro.sim.faults` / :mod:`repro.sim.invariants`); resolved from
         the ambient :mod:`repro.sim.instrumentation` context when omitted.
+    backend:
+        World-state representation (:mod:`repro.sim.backends`): a registry
+        name or instance; ``None`` resolves from the ambient context, falling
+        back to the ``"reference"`` default.
+
+    Construction is fully delegated to
+    :meth:`ExecutionKernel.for_engine` (shared verbatim with
+    :class:`~repro.sim.sync_engine.SyncEngine`); scenario-level wiring lives
+    one layer up in :func:`repro.runner.execute.build_engine`.
     """
 
     def __init__(
@@ -102,13 +112,15 @@ class AsyncEngine:
         max_activations: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
         invariant_checker: Optional[InvariantChecker] = None,
+        backend: Union[None, str, KernelBackend] = None,
     ) -> None:
-        self._kernel = ExecutionKernel(
+        self._kernel = ExecutionKernel.for_engine(
+            "async",
             graph,
             agents,
-            time_attr="activations",
             fault_injector=fault_injector,
             invariant_checker=invariant_checker,
+            backend=backend,
         )
         self.adversary = adversary if adversary is not None else RandomAdversary(0)
         self.adversary.bind(sorted(self._kernel.agents))
@@ -282,9 +294,13 @@ class AsyncEngine:
             checker.after_tick(now + 1)
 
     # ------------------------------------------------------------ observation
-    # All observation queries are the kernel's (the v2 fault-visibility
-    # contract lives there, shared verbatim with the SYNC engine); the fault
-    # clock inside an activation is the executing cycle's tick.
+    # The kernel's observation queries are the single documented query
+    # surface (the v2 fault-visibility contract lives there, shared verbatim
+    # with the SYNC engine and with every backend); the fault clock inside an
+    # activation is the executing cycle's tick.  The methods below are thin
+    # aliases kept for engine-level ergonomics and back-compat; new code --
+    # like the migrated drivers in ``repro.core`` -- should call
+    # ``engine.kernel.<query>`` directly.
 
     def fault_view(self, agent_id: int) -> AgentFaultView:
         """The agent's :class:`AgentFaultView` at the current fault clock."""

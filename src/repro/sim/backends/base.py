@@ -1,0 +1,165 @@
+"""The kernel-backend protocol: world state + move mechanics, swappable.
+
+The :class:`~repro.sim.kernel.ExecutionKernel` owns the *semantics* of a run
+(the fault clock, the v2 fault-visibility contract, metrics finalization); a
+:class:`KernelBackend` owns the *representation* -- where agent positions and
+per-node occupancy live and how a batch of moves lands.  Splitting the two
+gives one engine facade pair (SYNC/ASYNC) over interchangeable state layouts:
+
+* :class:`~repro.sim.backends.reference.ReferenceBackend` -- the original
+  per-agent Python loop, extracted unchanged.  It is the **oracle**: the
+  differential suite pins every other backend to its observable behaviour.
+* :class:`~repro.sim.backends.vectorized.VectorizedBackend` -- numpy
+  struct-of-arrays over the graph's CSR port tables, for 10^5..10^6-node
+  worlds (requires the ``fast`` extra).
+
+Backends expose two tiers:
+
+**Per-operation tier** (``apply_move`` / ``apply_batch`` and the raw state
+queries).  This is the engine contract: every backend must be *exactly*
+interchangeable here -- same mutations, same metrics accounting, same error
+messages, same query results -- so algorithm drivers produce byte-identical
+records on any backend.
+
+**Batch-stepping tier** (:meth:`KernelBackend.run_walk`).  A whole block of
+random-walk rounds executed inside the backend, without returning to Python
+per agent.  This is where a vectorized backend earns its keep: the base class
+provides a generic per-agent implementation (the oracle leg of ``repro
+bench``), and fast backends override it with array code.  The walk is
+seed-deterministic *per backend* but not across backends (they draw from
+different RNG families); cross-backend tests assert semantic invariants, not
+byte equality.  The batch tier honours crash/freeze fault masks and edge
+churn via the kernel's injector, but does not run the invariant checker.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Mapping, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.agent import Agent
+    from repro.sim.kernel import ExecutionKernel
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(ABC):
+    """World-state representation behind one :class:`ExecutionKernel`.
+
+    A backend instance is bound to exactly one kernel (:meth:`bind`); the
+    kernel delegates all state mutation and raw observation to it, keeping
+    fault filtering and metrics finalization to itself.
+    """
+
+    #: Registry name (``"reference"``, ``"vectorized"``, ...).
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self.kernel: Optional["ExecutionKernel"] = None
+
+    def bind(self, kernel: "ExecutionKernel") -> None:
+        """Attach to ``kernel`` and build state from its agent table."""
+        self.kernel = kernel
+        self.rebuild()
+
+    # ------------------------------------------------------------------ state
+    @abstractmethod
+    def rebuild(self) -> None:
+        """(Re)derive all backend state from ``self.kernel``'s agents/graph."""
+
+    @property
+    @abstractmethod
+    def occupancy(self) -> List[Set[int]]:
+        """Dense per-node sets of present agent ids.
+
+        The *same live object* across calls: adversaries and tests hold a
+        reference to it, so backends must update it in place.
+        """
+
+    # --------------------------------------------------------------- movement
+    @abstractmethod
+    def apply_move(self, agent: "Agent", port: int) -> None:
+        """Cross one edge in a single-agent activation (the ASYNC primitive)."""
+
+    @abstractmethod
+    def apply_batch(self, moves: Mapping[int, Optional[int]]) -> None:
+        """Apply one round's move batch simultaneously (the SYNC primitive)."""
+
+    # ------------------------------------------------------------ observation
+    @abstractmethod
+    def present_ids(self, node: int) -> List[int]:
+        """Sorted ids of every agent body at ``node`` (no fault filtering)."""
+
+    @abstractmethod
+    def occupied(self, node: int) -> bool:
+        """True when at least one agent body is at ``node``."""
+
+    @abstractmethod
+    def positions(self) -> Dict[int, int]:
+        """Snapshot of ``agent_id -> node``."""
+
+    @abstractmethod
+    def occupancy_counts(self) -> Sequence[int]:
+        """Per-node body counts (the occupancy histogram)."""
+
+    # ------------------------------------------------------- batch stepping
+    def run_walk(self, rounds: int, seed: int, settle: bool = False) -> int:
+        """Run up to ``rounds`` lockstep random-walk rounds inside the backend.
+
+        Each round, every unsettled agent that is not fault-blocked exits
+        through a uniformly random port of its current node; with ``settle``,
+        after the moves land each node holding no settled agent settles its
+        minimum-id unblocked visitor (the random-walk dispersion heuristic).
+        Stops early once every agent is settled.  Returns the number of edge
+        crossings performed; agent objects, occupancy, ``moves_per_agent``,
+        and ``metrics`` (rounds/total_moves/max_moves_per_agent) are left
+        exactly as if the rounds had been stepped one by one.
+
+        This generic implementation walks agents in Python (it is the bench's
+        reference leg); vectorized backends override it with array code.
+        """
+        kernel = self.kernel
+        assert kernel is not None, "backend not bound to a kernel"
+        graph = kernel.graph
+        agents = kernel.agents
+        rng = random.Random(seed)
+        ordered = [agents[a] for a in sorted(agents)]
+        injector = kernel.fault_injector
+        steps = 0
+        for _ in range(rounds):
+            if settle and all(a.settled for a in ordered):
+                break
+            now = kernel.metrics.rounds
+            blocked: frozenset[int] = frozenset()
+            if injector is not None:
+                injector.begin_tick(now, kernel)
+                blocked = injector.blocked_cycle_agents(now)
+            moves: Dict[int, Optional[int]] = {}
+            for agent in ordered:
+                if agent.settled or agent.agent_id in blocked:
+                    continue
+                moves[agent.agent_id] = rng.randint(1, graph.degree(agent.position))
+            self.apply_batch(moves)
+            steps += len(moves)
+            kernel.metrics.rounds += 1
+            if settle:
+                self._settle_pass(blocked)
+        return steps
+
+    def _settle_pass(self, blocked: frozenset[int]) -> None:
+        """Settle the min-id unblocked visitor at every settler-free node."""
+        kernel = self.kernel
+        agents = kernel.agents
+        settled_nodes = {a.home for a in agents.values() if a.settled}
+        by_node: Dict[int, int] = {}
+        for agent_id in sorted(agents):
+            agent = agents[agent_id]
+            if agent.settled or agent.agent_id in blocked:
+                continue
+            if agent.position in settled_nodes or agent.position in by_node:
+                continue
+            by_node[agent.position] = agent_id
+        for node, agent_id in by_node.items():
+            agents[agent_id].settle(node, None)

@@ -1,0 +1,289 @@
+"""Numpy struct-of-arrays backend over the graph's CSR port tables.
+
+State layout (``k`` agents, ``n`` nodes):
+
+* ``_ids``        -- int64[k], sorted agent ids; ``_slot`` maps id -> row.
+* ``_pos``        -- int64[k], current node per agent (authoritative; kept in
+  lockstep with the ``Agent`` objects so the two views never diverge).
+* ``_occ_count``  -- int64[n], the per-node occupancy histogram.
+* ``_occ``        -- the same live ``List[Set[int]]`` the reference backend
+  keeps.  Exact query parity (sorted-id communication queries, adversaries
+  that inspect ``engine._occupancy``) requires the id sets; the histogram
+  answers the pure counting queries without touching them.
+* CSR views      -- zero-copy int64 views of the graph's flat
+  ``(offsets, neighbors, reverse_ports)`` arrays plus a degree vector,
+  refreshed whenever :attr:`PortLabeledGraph.churn_count` moves (edge churn
+  rebuilds the flat arrays in place).
+
+The **per-operation tier** stays observably identical to the reference
+backend: batched moves are *planned* with one fancy-indexing pass over the
+CSR tables (bounds check, destination and reverse-port lookup, first
+offending move reported with the graph's exact error message), then landed
+on the Agent objects in the same order the reference loop lands them.  The
+**batch-stepping tier** (:meth:`VectorizedBackend.run_walk`) never leaves
+numpy between rounds -- port draws, edge crossings, fault masks, and the
+settle rule are all array ops -- and syncs the Agent objects, occupancy sets,
+and metrics back once at the end.
+
+numpy is an optional dependency (the ``fast`` extra): importing this module
+is always safe, constructing the backend without numpy raises
+:class:`~repro.sim.backends.BackendUnavailableError` with install guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+try:  # pragma: no cover - exercised via is_available() in both states
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less environments
+    np = None
+
+from repro.agents.agent import Agent
+from repro.sim.backends.base import KernelBackend
+
+__all__ = ["VectorizedBackend"]
+
+
+class VectorizedBackend(KernelBackend):
+    """Struct-of-arrays world state for interactive 10^5..10^6-node runs."""
+
+    name = "vectorized"
+
+    def __init__(self) -> None:
+        if np is None:
+            from repro.sim.backends import BackendUnavailableError
+
+            raise BackendUnavailableError(
+                "the 'vectorized' backend needs numpy, which is not installed; "
+                "install the fast extra (pip install 'repro-dispersion[fast]') "
+                "or use --backend reference"
+            )
+        super().__init__()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return np is not None
+
+    # ------------------------------------------------------------------ state
+    def rebuild(self) -> None:
+        kernel = self.kernel
+        n = kernel.graph.num_nodes
+        ids = sorted(kernel.agents)
+        self._ids = np.asarray(ids, dtype=np.int64)
+        self._slot: Dict[int, int] = {agent_id: i for i, agent_id in enumerate(ids)}
+        self._pos = np.asarray(
+            [kernel.agents[a].position for a in ids], dtype=np.int64
+        )
+        self._occ_count = np.bincount(self._pos, minlength=n).astype(np.int64)
+        self._occ: List[Set[int]] = [set() for _ in range(n)]
+        for agent_id, node in zip(ids, self._pos.tolist()):
+            self._occ[node].add(agent_id)
+        self._churn_seen: Optional[int] = None
+        self._refresh_csr()
+
+    def _refresh_csr(self) -> None:
+        """(Re)view the graph's CSR arrays; cheap no-op while churn is quiet."""
+        graph = self.kernel.graph
+        if graph.churn_count == self._churn_seen:
+            return
+        offsets, neighbors, reverse = graph.adjacency_arrays()
+        # array('l') is 64-bit on the platforms we target; frombuffer gives a
+        # zero-copy view that stays valid until the next rewire (tracked by
+        # churn_count, which every rewire bumps).
+        self._offsets = np.frombuffer(offsets, dtype=np.int64)
+        self._nbr = np.frombuffer(neighbors, dtype=np.int64)
+        self._rev = np.frombuffer(reverse, dtype=np.int64)
+        self._deg = self._offsets[1:] - self._offsets[:-1]
+        self._churn_seen = graph.churn_count
+
+    @property
+    def occupancy(self) -> List[Set[int]]:
+        return self._occ
+
+    # ---------------------------------------------------------------- movement
+    def apply_move(self, agent: Agent, port: int) -> None:
+        # A single activation moves a single agent: the scalar graph lookup is
+        # both faster than a 1-element array pass and exactly the reference
+        # code path (same bounds check, same error message).
+        kernel = self.kernel
+        src = agent.position
+        dst, rev = kernel.graph.move(src, port)
+        self._occ[src].discard(agent.agent_id)
+        agent.arrive(dst, rev)
+        self._occ[dst].add(agent.agent_id)
+        slot = self._slot[agent.agent_id]
+        self._pos[slot] = dst
+        self._occ_count[src] -= 1
+        self._occ_count[dst] += 1
+        kernel.metrics.total_moves += 1
+        count = kernel.moves_per_agent.get(agent.agent_id, 0) + 1
+        kernel.moves_per_agent[agent.agent_id] = count
+        if count > kernel.metrics.max_moves_per_agent:
+            kernel.metrics.max_moves_per_agent = count
+
+    def apply_batch(self, moves: Mapping[int, Optional[int]]) -> None:
+        kernel = self.kernel
+        movers: List[Agent] = []
+        slots_list: List[int] = []
+        ports_list: List[int] = []
+        for agent_id, port in moves.items():
+            if port is None:
+                continue
+            movers.append(kernel.agents[agent_id])
+            slots_list.append(self._slot[agent_id])
+            ports_list.append(port)
+        if not movers:
+            return
+        self._refresh_csr()
+        slots = np.asarray(slots_list, dtype=np.int64)
+        ports = np.asarray(ports_list, dtype=np.int64)
+        src = self._pos[slots]
+        deg = self._deg[src]
+        bad = (ports < 1) | (ports > deg)
+        if bad.any():
+            # Report the first offender in mapping order, with the exact
+            # message PortLabeledGraph.move raises, before mutating anything.
+            i = int(np.flatnonzero(bad)[0])
+            raise ValueError(
+                f"node {int(src[i])} has no port {int(ports[i])} "
+                f"(degree {int(deg[i])})"
+            )
+        edge = self._offsets[src] + ports - 1
+        dst = self._nbr[edge]
+        rev = self._rev[edge]
+        occupancy = self._occ
+        for agent, s in zip(movers, src.tolist()):
+            occupancy[s].discard(agent.agent_id)
+        moves_per_agent = kernel.moves_per_agent
+        max_moves = kernel.metrics.max_moves_per_agent
+        for agent, d, r in zip(movers, dst.tolist(), rev.tolist()):
+            agent.arrive(d, r)
+            occupancy[d].add(agent.agent_id)
+            count = moves_per_agent.get(agent.agent_id, 0) + 1
+            moves_per_agent[agent.agent_id] = count
+            if count > max_moves:
+                max_moves = count
+        self._pos[slots] = dst
+        np.subtract.at(self._occ_count, src, 1)
+        np.add.at(self._occ_count, dst, 1)
+        kernel.metrics.total_moves += len(movers)
+        kernel.metrics.max_moves_per_agent = max_moves
+
+    # ------------------------------------------------------------ observation
+    def present_ids(self, node: int) -> List[int]:
+        return sorted(self._occ[node])
+
+    def occupied(self, node: int) -> bool:
+        return bool(self._occ_count[node])
+
+    def positions(self) -> Dict[int, int]:
+        # Answered from the arrays (the authoritative vectorized state); dict
+        # equality with the reference answer is part of the parity contract.
+        return {
+            int(agent_id): int(node)
+            for agent_id, node in zip(self._ids, self._pos)
+        }
+
+    def occupancy_counts(self) -> Sequence[int]:
+        return self._occ_count.tolist()
+
+    # ------------------------------------------------------- batch stepping
+    def run_walk(self, rounds: int, seed: int, settle: bool = False) -> int:
+        """Array-only random-walk rounds; syncs world state back at the end.
+
+        Same workload semantics as the generic implementation (uniform port
+        per unsettled unblocked agent, simultaneous landing, min-id settle
+        rule, early stop when everyone settled, crash/freeze masks and churn
+        honoured per round) -- but the per-round work is pure numpy, which is
+        where the backend's steps-per-second headroom comes from.
+        """
+        kernel = self.kernel
+        agents = kernel.agents
+        injector = kernel.fault_injector
+        rng = np.random.default_rng(seed)
+        k = len(self._ids)
+        n = kernel.graph.num_nodes
+        self._refresh_csr()
+        pos = self._pos.copy()
+        pin = np.full(k, -1, dtype=np.int64)  # -1: never moved in this block
+        moved = np.zeros(k, dtype=np.int64)
+        settled = np.asarray(
+            [agents[a].settled for a in self._ids.tolist()], dtype=bool
+        )
+        # node -> has a settled home agent (settled agents never move here).
+        has_settler = np.zeros(n, dtype=bool)
+        for agent in agents.values():
+            if agent.settled and agent.home is not None:
+                has_settler[agent.home] = True
+        steps = 0
+        for _ in range(rounds):
+            if settle and bool(settled.all()):
+                break
+            now = kernel.metrics.rounds
+            blocked = np.zeros(k, dtype=bool)
+            if injector is not None:
+                injector.begin_tick(now, kernel)
+                self._refresh_csr()  # churn may have rewired edges this tick
+                for agent_id in injector.blocked_cycle_agents(now):
+                    slot = self._slot.get(agent_id)
+                    if slot is not None:
+                        blocked[slot] = True
+            active = ~settled & ~blocked
+            count = int(active.sum())
+            if count:
+                src = pos[active]
+                deg = self._deg[src]
+                ports = (rng.random(count) * deg).astype(np.int64)  # 0-based
+                edge = self._offsets[src] + ports
+                pos[active] = self._nbr[edge]
+                pin[active] = self._rev[edge]
+                moved[active] += 1
+                steps += count
+            kernel.metrics.rounds += 1
+            if settle:
+                candidates = np.flatnonzero(~settled & ~blocked)
+                if candidates.size:
+                    nodes = pos[candidates]
+                    open_node = ~has_settler[nodes]
+                    candidates = candidates[open_node]
+                    nodes = nodes[open_node]
+                    if candidates.size:
+                        # Min-slot (== min-id: slots are id-sorted) per node.
+                        order = np.lexsort((candidates, nodes))
+                        candidates = candidates[order]
+                        nodes = nodes[order]
+                        first = np.ones(len(nodes), dtype=bool)
+                        first[1:] = nodes[1:] != nodes[:-1]
+                        winners = candidates[first]
+                        settled[winners] = True
+                        has_settler[nodes[first]] = True
+        self._sync_back(pos, pin, moved, settled)
+        return steps
+
+    def _sync_back(self, pos, pin, moved, settled) -> None:
+        """Land the block's end state on the Agents, occupancy, and metrics."""
+        kernel = self.kernel
+        agents = kernel.agents
+        occupancy = self._occ
+        moves_per_agent = kernel.moves_per_agent
+        max_moves = kernel.metrics.max_moves_per_agent
+        for slot, agent_id in enumerate(self._ids.tolist()):
+            agent = agents[agent_id]
+            count = int(moved[slot])
+            if count:
+                occupancy[agent.position].discard(agent_id)
+                agent.arrive(int(pos[slot]), int(pin[slot]))
+                occupancy[agent.position].add(agent_id)
+                total = moves_per_agent.get(agent_id, 0) + count
+                moves_per_agent[agent_id] = total
+                if total > max_moves:
+                    max_moves = total
+            if settled[slot] and not agent.settled:
+                agent.settle(int(pos[slot]), None)
+        kernel.metrics.total_moves += int(moved.sum())
+        kernel.metrics.max_moves_per_agent = max_moves
+        self._pos[:] = pos
+        self._occ_count = np.bincount(
+            pos, minlength=kernel.graph.num_nodes
+        ).astype(np.int64)

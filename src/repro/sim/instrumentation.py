@@ -56,6 +56,11 @@ class InstrumentationConfig:
         observations (see :attr:`FaultInjector.blocked_observations`).
     check_invariants, check_every, strict:
         Invariant-checker construction parameters.
+    backend:
+        Kernel-backend name (:mod:`repro.sim.backends`) every engine built
+        under the context uses for its world state; ``None`` keeps the
+        ``"reference"`` default.  This is how ``--backend`` reaches engines
+        that algorithm drivers construct internally, exactly as faults do.
     injectors, checkers:
         Every instance handed to an engine while the context was active, in
         construction order.  The caller reads counts from these even when the
@@ -69,6 +74,7 @@ class InstrumentationConfig:
     check_invariants: bool = False
     check_every: int = 1
     strict: bool = False
+    backend: Optional[str] = None
     injectors: List[FaultInjector] = field(default_factory=list)
     checkers: List[InvariantChecker] = field(default_factory=list)
 

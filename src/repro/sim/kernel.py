@@ -9,11 +9,14 @@ lives here, in one :class:`ExecutionKernel` that both
 :class:`~repro.sim.sync_engine.SyncEngine` and
 :class:`~repro.sim.async_engine.AsyncEngine` are thin facades over:
 
-* the agent table and the dense per-node occupancy sets,
+* the agent table and the pluggable **state backend**
+  (:mod:`repro.sim.backends`) holding the dense per-node occupancy and
+  applying moves -- the per-agent reference loop or the numpy
+  struct-of-arrays layout, selected per scenario,
 * move application (single activation moves and simultaneous SYNC batches)
   with the per-agent move accounting behind ``max_moves_per_agent``,
-* resolution of the fault injector / invariant checker from explicit
-  arguments or the ambient :mod:`repro.sim.instrumentation` context,
+* resolution of the fault injector / invariant checker / backend from
+  explicit arguments or the ambient :mod:`repro.sim.instrumentation` context,
 * the **fault clock** -- the tick fault queries are answered at: the
   executing activation's tick while program code runs inside one
   (``cycle_time``), else the engine's native counter (rounds or
@@ -33,11 +36,12 @@ composes with the kernel instead of re-implementing the world logic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
 from repro.sim import instrumentation
+from repro.sim.backends import KernelBackend, resolve_backend
 from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import RunMetrics
@@ -64,6 +68,11 @@ class ExecutionKernel:
         omitted, both are resolved from the ambient instrumentation context
         (:mod:`repro.sim.instrumentation`), which is how the experiment
         runner instruments engines that algorithm drivers build internally.
+    backend:
+        World-state representation (:mod:`repro.sim.backends`): a registry
+        name, an unbound :class:`~repro.sim.backends.KernelBackend`
+        instance, or ``None`` to resolve from the ambient instrumentation
+        context, falling back to the ``"reference"`` default.
     """
 
     def __init__(
@@ -73,19 +82,16 @@ class ExecutionKernel:
         time_attr: str = "rounds",
         fault_injector: Optional[FaultInjector] = None,
         invariant_checker: Optional[InvariantChecker] = None,
+        backend: Union[None, str, KernelBackend] = None,
     ) -> None:
         if time_attr not in ("rounds", "activations"):
             raise ValueError(f"time_attr must be 'rounds' or 'activations', got {time_attr!r}")
         self.graph = graph
         self.agents: Dict[int, Agent] = {}
-        # Occupancy is a dense per-node list of id sets: node indices are the
-        # kernel's hottest keys, so direct indexing beats dict hashing.
-        self.occupancy: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
         for agent in agents:
             if agent.agent_id in self.agents:
                 raise ValueError(f"duplicate agent id {agent.agent_id}")
             self.agents[agent.agent_id] = agent
-            self.occupancy[agent.position].add(agent.agent_id)
         if not self.agents:
             raise ValueError("need at least one agent")
         self.metrics = RunMetrics()
@@ -104,6 +110,45 @@ class ExecutionKernel:
             invariant_checker.attach(graph, self.agents)
         self.fault_injector = fault_injector
         self.invariant_checker = invariant_checker
+        if backend is None and config is not None:
+            backend = config.backend
+        self.backend = resolve_backend(backend)
+        self.backend.bind(self)
+
+    @classmethod
+    def for_engine(
+        cls,
+        setting: str,
+        graph: PortLabeledGraph,
+        agents: Iterable[Agent],
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        invariant_checker: Optional[InvariantChecker] = None,
+        backend: Union[None, str, KernelBackend] = None,
+    ) -> "ExecutionKernel":
+        """The one construction path both engine facades delegate to.
+
+        ``setting`` is ``"sync"`` or ``"async"`` and picks the native clock;
+        everything else is the constructor, so fault/invariant/backend wiring
+        cannot drift between the facades (see also
+        :func:`repro.runner.execute.build_engine`, which layers scenario
+        wiring on top of this).
+        """
+        if setting not in ("sync", "async"):
+            raise ValueError(f"setting must be 'sync' or 'async', got {setting!r}")
+        return cls(
+            graph,
+            agents,
+            time_attr="activations" if setting == "async" else "rounds",
+            fault_injector=fault_injector,
+            invariant_checker=invariant_checker,
+            backend=backend,
+        )
+
+    @property
+    def occupancy(self) -> List[Set[int]]:
+        """The backend's live per-node id sets (stable object across calls)."""
+        return self.backend.occupancy
 
     # -------------------------------------------------------------- the clock
     def now(self) -> int:
@@ -116,15 +161,7 @@ class ExecutionKernel:
     # ---------------------------------------------------------------- movement
     def apply_move(self, agent: Agent, port: int) -> None:
         """Cross one edge in a single-agent activation (the ASYNC primitive)."""
-        dst, rev = self.graph.move(agent.position, port)
-        self.occupancy[agent.position].discard(agent.agent_id)
-        agent.arrive(dst, rev)
-        self.occupancy[dst].add(agent.agent_id)
-        self.metrics.total_moves += 1
-        count = self.moves_per_agent.get(agent.agent_id, 0) + 1
-        self.moves_per_agent[agent.agent_id] = count
-        if count > self.metrics.max_moves_per_agent:
-            self.metrics.max_moves_per_agent = count
+        self.backend.apply_move(agent, port)
 
     def apply_batch(self, moves: Mapping[int, Optional[int]]) -> None:
         """Apply one round's move batch simultaneously (the SYNC primitive).
@@ -134,28 +171,7 @@ class ExecutionKernel:
         every source is vacated and the batch lands at once, exactly as in the
         SYNC model (no agent observes another on an edge).
         """
-        edge = self.graph.move
-        occupancy = self.occupancy
-        planned: List[tuple[Agent, int, int]] = []  # agent, dst, rev_port
-        for agent_id, port in moves.items():
-            if port is None:
-                continue
-            agent = self.agents[agent_id]
-            dst, rev = edge(agent.position, port)
-            planned.append((agent, dst, rev))
-        for agent, _dst, _rev in planned:
-            occupancy[agent.position].discard(agent.agent_id)
-        moves_per_agent = self.moves_per_agent
-        max_moves = self.metrics.max_moves_per_agent
-        for agent, dst, rev in planned:
-            agent.arrive(dst, rev)
-            occupancy[dst].add(agent.agent_id)
-            count = moves_per_agent.get(agent.agent_id, 0) + 1
-            moves_per_agent[agent.agent_id] = count
-            if count > max_moves:
-                max_moves = count
-        self.metrics.total_moves += len(planned)
-        self.metrics.max_moves_per_agent = max_moves
+        self.backend.apply_batch(moves)
 
     # ------------------------------------------------------------ observation
     def fault_view(self, agent_id: int) -> AgentFaultView:
@@ -178,7 +194,7 @@ class ExecutionKernel:
         is invisible here -- it cannot answer probes, be settled, or be
         instructed while blocked.
         """
-        present = sorted(self.occupancy[node])
+        present = self.backend.present_ids(node)
         injector = self.fault_injector
         if injector is None:
             return [self.agents[a] for a in present]
@@ -187,7 +203,7 @@ class ExecutionKernel:
 
     def occupied(self, node: int) -> bool:
         """True when at least one agent body is at ``node`` (physical query)."""
-        return bool(self.occupancy[node])
+        return self.backend.occupied(node)
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
         """The settled agent at ``node`` that answers probes right now."""
@@ -206,7 +222,7 @@ class ExecutionKernel:
 
     def positions(self) -> Dict[int, int]:
         """Snapshot of ``agent_id -> node``."""
-        return {a.agent_id: a.position for a in self.agents.values()}
+        return self.backend.positions()
 
     def finalize_metrics(self) -> RunMetrics:
         """Fold per-agent memory peaks (and any fault/invariant counters) into

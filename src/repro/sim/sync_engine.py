@@ -20,10 +20,11 @@ at its own node only) are the kernel's, re-exported unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
+from repro.sim.backends import KernelBackend
 from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.kernel import ExecutionKernel
@@ -50,6 +51,15 @@ class SyncEngine:
         both are resolved from the ambient instrumentation context
         (:mod:`repro.sim.instrumentation`), which is how the experiment runner
         instruments engines that algorithm drivers construct internally.
+    backend:
+        World-state representation (:mod:`repro.sim.backends`): a registry
+        name or instance; ``None`` resolves from the ambient context, falling
+        back to the ``"reference"`` default.
+
+    Construction is fully delegated to
+    :meth:`ExecutionKernel.for_engine` (shared verbatim with
+    :class:`~repro.sim.async_engine.AsyncEngine`); scenario-level wiring
+    lives one layer up in :func:`repro.runner.execute.build_engine`.
     """
 
     def __init__(
@@ -59,13 +69,15 @@ class SyncEngine:
         max_rounds: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
         invariant_checker: Optional[InvariantChecker] = None,
+        backend: Union[None, str, KernelBackend] = None,
     ) -> None:
-        self._kernel = ExecutionKernel(
+        self._kernel = ExecutionKernel.for_engine(
+            "sync",
             graph,
             agents,
-            time_attr="rounds",
             fault_injector=fault_injector,
             invariant_checker=invariant_checker,
+            backend=backend,
         )
         self.max_rounds = max_rounds
 
@@ -162,8 +174,12 @@ class SyncEngine:
             self.step({})
 
     # ------------------------------------------------------------ observation
-    # All observation queries are the kernel's (the v2 fault-visibility
-    # contract lives there, shared verbatim with the ASYNC engine).
+    # The kernel's observation queries are the single documented query
+    # surface (the v2 fault-visibility contract lives there, shared verbatim
+    # with the ASYNC engine and with every backend).  The methods below are
+    # thin aliases kept for engine-level ergonomics and back-compat; new code
+    # -- like the migrated drivers in ``repro.core`` -- should call
+    # ``engine.kernel.<query>`` directly.
 
     def fault_view(self, agent_id: int) -> AgentFaultView:
         """The agent's :class:`AgentFaultView` for the upcoming round."""

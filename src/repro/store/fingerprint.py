@@ -59,6 +59,13 @@ def fingerprint_material(
             "name": scenario.scheduler,
             "params": dict(scenario.scheduler_params),
         }
+    # The kernel backend never changes a record's measurements (differential
+    # suite guarantee), but it *is* part of the scenario's serialized identity
+    # (the record embeds the scenario tag), so a non-default backend keys its
+    # own cache rows.  The "reference" default is omitted, keeping every
+    # pre-backend fingerprint -- and store row -- valid.
+    if scenario.backend != "reference":
+        envelope["backend"] = scenario.backend
     return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
 
 

@@ -1,0 +1,405 @@
+"""Backend-axis unit tests: registry, construction API, and exact parity.
+
+The vectorized backend's correctness contract is *observable equivalence* on
+the per-operation tier: every mutation, query answer, metrics counter, and
+error message must match the reference backend exactly (the differential
+suite in ``test_backend_differential.py`` extends this to whole algorithm
+records).  These tests pin the contract at the unit level -- lockstep rounds,
+error paths, churned port tables, and the batch-walk sync-back -- plus the
+registry/spec/factory plumbing the axis travels through.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.memory import MemoryModel
+from repro.graph import generators
+from repro.runner.execute import build_engine
+from repro.runner.scenario import ScenarioSpec
+from repro.runner.sweep import SweepSpec
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    BackendUnavailableError,
+    KernelBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    available_backends,
+    backend_available,
+    get_backend,
+    require_backend,
+    resolve_backend,
+)
+from repro.sim.faults import FaultSchedule
+from repro.sim.sync_engine import SyncEngine
+from repro.store.fingerprint import fingerprint_material, run_fingerprint
+
+needs_vectorized = pytest.mark.skipif(
+    not backend_available("vectorized"), reason="numpy not installed"
+)
+
+
+def make_world(n: int = 18, k: int = 10, seed: int = 7, start: int = 0):
+    graph = generators.erdos_renyi(n, 0.3, seed=seed)
+    model = MemoryModel(k=k, max_degree=graph.max_degree)
+    agents = [Agent(i, start, model) for i in range(1, k + 1)]
+    return graph, agents
+
+
+def snapshot(engine):
+    """Every observable the per-operation tier promises to keep identical."""
+    n = engine.graph.num_nodes
+    return {
+        "positions": engine.kernel.positions(),
+        "occupancy": [set(s) for s in engine.kernel.occupancy],
+        "counts": list(engine.kernel.backend.occupancy_counts()),
+        "occupied": [engine.kernel.occupied(v) for v in range(n)],
+        "present": [engine.kernel.backend.present_ids(v) for v in range(n)],
+        "total_moves": engine.metrics.total_moves,
+        "moves_per_agent": dict(engine.kernel.moves_per_agent),
+        "agent_state": sorted(
+            (a.agent_id, a.position, a.settled, a.home)
+            for a in engine.agents.values()
+        ),
+    }
+
+
+# --------------------------------------------------------------------- registry
+
+
+def test_registry_names_and_default():
+    assert DEFAULT_BACKEND == "reference"
+    assert set(BACKEND_NAMES) == {"reference", "vectorized"}
+    assert backend_available("reference")
+    assert "reference" in available_backends()
+    assert not backend_available("no-such-backend")
+
+
+def test_get_and_require_reject_unknown_names():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("no-such-backend")
+    with pytest.raises(ValueError, match="unknown backend"):
+        require_backend("no-such-backend")
+
+
+def test_resolve_backend_coerces_none_name_and_instance():
+    default = resolve_backend(None)
+    assert isinstance(default, ReferenceBackend)
+    named = resolve_backend("reference")
+    assert isinstance(named, ReferenceBackend)
+    assert named is not default  # fresh instance per engine
+    instance = ReferenceBackend()
+    assert resolve_backend(instance) is instance
+
+
+def test_vectorized_unavailable_without_numpy(monkeypatch):
+    """Without numpy the backend reports unavailable and fails with guidance."""
+    import repro.sim.backends.vectorized as vec
+
+    monkeypatch.setattr(vec, "np", None)
+    assert not backend_available("vectorized")
+    assert available_backends() == ["reference"]
+    with pytest.raises(BackendUnavailableError, match="fast"):
+        VectorizedBackend()
+    with pytest.raises(BackendUnavailableError):
+        require_backend("vectorized")
+    # ... while the reference path is untouched.
+    graph, agents = make_world(n=6, k=2)
+    engine = SyncEngine(graph, agents)
+    engine.step({})
+    assert engine.metrics.rounds == 1
+
+
+def test_engine_rejects_unknown_backend_name():
+    graph, agents = make_world(n=6, k=2)
+    with pytest.raises(ValueError, match="unknown backend"):
+        SyncEngine(graph, agents, backend="no-such-backend")
+
+
+# ----------------------------------------------------------------- exact parity
+
+
+@needs_vectorized
+def test_lockstep_parity_on_random_graph():
+    """Identical seeded move batches leave both backends byte-equal."""
+    engines = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world()
+        engines.append(SyncEngine(graph, agents, backend=backend))
+    ref, vec = engines
+    assert isinstance(ref.kernel.backend, ReferenceBackend)
+    assert isinstance(vec.kernel.backend, VectorizedBackend)
+    rng = random.Random(0xD15)
+    for round_no in range(40):
+        moves = {}
+        for agent in ref.agents.values():
+            if rng.random() < 0.7:
+                moves[agent.agent_id] = rng.randint(
+                    1, ref.graph.degree(agent.position)
+                )
+        if round_no == 25:  # settle someone mid-run: settled bodies still move? no
+            aid = min(a for a, m in moves.items()) if moves else 1
+            moves.pop(aid, None)
+            ref.agents[aid].settle(ref.agents[aid].position, None)
+            vec.agents[aid].settle(vec.agents[aid].position, None)
+        ref.step(dict(moves))
+        vec.step(dict(moves))
+        assert snapshot(ref) == snapshot(vec)
+
+
+@needs_vectorized
+def test_apply_move_parity_and_port_memory():
+    """The ASYNC single-move primitive updates arrays and Agent alike."""
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=10, k=3)
+        engine = SyncEngine(graph, agents, backend=backend)
+        agent = agents[0]
+        engine.kernel.apply_move(agent, 1)
+        expected, arrival = graph.move(0, 1)
+        assert agent.position == expected
+        assert agent.pin == arrival
+        assert engine.kernel.positions()[agent.agent_id] == expected
+        assert agent.agent_id in engine.kernel.occupancy[expected]
+        assert engine.metrics.total_moves == 1
+
+
+@needs_vectorized
+def test_apply_batch_error_message_parity():
+    """Both backends report the first offending move with the graph's words."""
+    messages = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=10, k=4)
+        engine = SyncEngine(graph, agents, backend=backend)
+        before = snapshot(engine)
+        deg = graph.degree(0)
+        with pytest.raises(ValueError) as err:
+            engine.kernel.apply_batch({1: 1, 2: deg + 3, 3: deg + 9})
+        messages.append(str(err.value))
+        assert f"has no port {deg + 3}" in messages[-1]
+        # the offender is reported before anything mutates
+        assert snapshot(engine) == before
+    assert messages[0] == messages[1]
+
+
+@needs_vectorized
+def test_vectorized_occupancy_is_the_engines_live_alias():
+    """Adversaries hold ``engine._occupancy``; it must stay the live object."""
+    graph, agents = make_world(n=8, k=4)
+    engine = SyncEngine(graph, agents, backend="vectorized")
+    held = engine._occupancy
+    assert held is engine.kernel.occupancy
+    engine.step({1: 1})
+    assert held is engine.kernel.occupancy
+    assert 1 in held[graph.neighbor(0, 1)]
+
+
+@needs_vectorized
+def test_parity_survives_edge_churn():
+    """``rewire`` rebuilds the CSR tables; the vectorized views must follow."""
+    engines = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=12, k=6, seed=3)
+        engines.append(SyncEngine(graph, agents, backend=backend))
+    ref, vec = engines
+    rng = random.Random(99)
+    for _ in range(6):
+        # identical structural churn on both worlds
+        removable = ref.graph.removable_edges()
+        missing = ref.graph.missing_edges()
+        remove = removable[rng.randrange(len(removable))] if removable else None
+        add = missing[rng.randrange(len(missing))] if missing else None
+        churned = ref.graph.churn_count
+        for eng in (ref, vec):
+            eng.graph.rewire(remove=remove, add=add)
+            assert eng.graph.churn_count == churned + 1
+        moves = {
+            a.agent_id: rng.randint(1, ref.graph.degree(a.position))
+            for a in ref.agents.values()
+        }
+        ref.step(dict(moves))
+        vec.step(dict(moves))
+        assert snapshot(ref) == snapshot(vec)
+
+
+@needs_vectorized
+def test_batch_walk_sync_back_restores_full_consistency():
+    """After ``run_walk`` the Agent objects, occupancy, and metrics agree with
+    the arrays -- and further per-op stepping behaves as if the rounds had been
+    stepped one by one."""
+    graph, agents = make_world(n=16, k=8, seed=5)
+    engine = SyncEngine(graph, agents, backend="vectorized")
+    backend = engine.kernel.backend
+    steps = backend.run_walk(30, seed=11)
+    assert steps == 30 * 8  # nobody settled: every agent walks every round
+    assert engine.metrics.rounds == 30
+    assert engine.metrics.total_moves == steps
+    snap = snapshot(engine)
+    assert sum(snap["counts"]) == 8
+    for agent in agents:
+        assert agent.agent_id in engine.kernel.occupancy[agent.position]
+        assert snap["positions"][agent.agent_id] == agent.position
+    assert sum(snap["moves_per_agent"].values()) == steps
+    # the per-op tier continues seamlessly from the synced state
+    engine.step({1: 1})
+    assert engine.agents[1].position == graph.neighbor(snap["positions"][1], 1)
+
+
+@needs_vectorized
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_batch_walk_settle_disperses_and_stops_early(backend):
+    graph, agents = make_world(n=16, k=8, seed=5)
+    engine = SyncEngine(graph, agents, backend=backend)
+    engine.kernel.backend.run_walk(10_000, seed=1, settle=True)
+    assert all(a.settled for a in agents)
+    homes = sorted(a.home for a in agents)
+    assert len(set(homes)) == len(agents)  # distinct nodes: dispersed
+    assert engine.metrics.rounds < 10_000  # early exit on full settlement
+    for agent in agents:
+        assert agent.position == agent.home
+
+
+@needs_vectorized
+def test_batch_walk_respects_crash_and_freeze_masks():
+    """Blocked agents neither walk nor settle inside the batch tier."""
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=16, k=6, seed=2)
+        engine = build_engine(
+            graph=graph,
+            agents=agents,
+            fault_schedule=FaultSchedule(crash_at={3: 0}, freeze_windows={5: (0, 4)}),
+            backend=backend,
+        )
+        engine.kernel.backend.run_walk(4, seed=9, settle=True)
+        assert engine.agents[3].position == 0  # crashed on the start node
+        assert not engine.agents[3].settled
+        assert engine.agents[5].position == 0  # still frozen through round 3
+        assert not engine.agents[5].settled
+        assert engine.kernel.moves_per_agent.get(3, 0) == 0
+        assert engine.kernel.moves_per_agent.get(5, 0) == 0
+        # after the thaw, agent 5 walks again
+        engine.kernel.backend.run_walk(3, seed=10)
+        assert engine.kernel.moves_per_agent.get(5, 0) > 0
+        assert engine.kernel.moves_per_agent.get(3, 0) == 0
+
+
+# ------------------------------------------------------------------ build_engine
+
+
+def test_build_engine_requires_world_or_scenario():
+    with pytest.raises(ValueError, match="scenario or explicit graph"):
+        build_engine()
+
+
+def test_build_engine_scenario_mode_wires_spec_pieces():
+    spec = ScenarioSpec(
+        family="line",
+        params={"n": 8},
+        k=4,
+        seed=0,
+        faults={"crash": 0.5, "horizon": 4},
+        check_invariants=True,
+    )
+    engine = build_engine(spec)
+    assert engine.graph.num_nodes == 8
+    assert sorted(engine.agents) == [1, 2, 3, 4]
+    assert engine.fault_injector is not None
+    assert engine.kernel.invariant_checker is not None
+    assert engine.kernel.backend.name == DEFAULT_BACKEND
+
+
+def test_build_engine_scenario_mode_async_uses_spec_scheduler():
+    spec = ScenarioSpec(
+        family="ring", params={"n": 8}, k=4, seed=0, scheduler="lockstep"
+    )
+    engine = build_engine(spec, setting="async")
+    assert type(engine).__name__ == "AsyncEngine"
+    assert engine.adversary is not None
+
+
+@needs_vectorized
+def test_build_engine_scenario_backend_flows_from_spec():
+    spec = ScenarioSpec(family="line", params={"n": 8}, k=4, seed=0).with_backend(
+        "vectorized"
+    )
+    engine = build_engine(spec)
+    assert isinstance(engine.kernel.backend, VectorizedBackend)
+    # explicit override beats the spec
+    engine = build_engine(spec, backend="reference")
+    assert isinstance(engine.kernel.backend, ReferenceBackend)
+
+
+def test_build_engine_explicit_mode_pins_schedule_and_observations():
+    graph, agents = make_world(n=8, k=3)
+    engine = build_engine(
+        graph=graph,
+        agents=agents,
+        fault_schedule=FaultSchedule(crash_at={2: 1}),
+        record_fault_observations=True,
+    )
+    assert engine.fault_injector is not None
+    assert engine.fault_injector.record_observations
+    engine.step({})
+    engine.step({})
+    assert engine.fault_injector.counts["blocked"] >= 1
+
+
+# ------------------------------------------------- spec serialization & caching
+
+
+def test_spec_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        ScenarioSpec(family="line", params={"n": 8}, k=4, seed=0, backend="bogus")
+
+
+def test_default_backend_keeps_spec_bytes_and_fingerprints():
+    """The reference default must serialize, label, and fingerprint exactly as
+    specs did before the backend axis existed."""
+    spec = ScenarioSpec(family="line", params={"n": 8}, k=4, seed=0)
+    assert "backend" not in spec.to_dict()
+    assert "backend" not in spec.base_dict()
+    assert "backend" not in fingerprint_material("rooted_sync", spec)
+    assert "backend" not in spec.label()
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@needs_vectorized
+def test_non_default_backend_serializes_and_keys_its_own_cache():
+    spec = ScenarioSpec(family="line", params={"n": 8}, k=4, seed=0)
+    fast = spec.with_backend("vectorized")
+    assert fast.to_dict()["backend"] == "vectorized"
+    assert ScenarioSpec.from_dict(fast.to_dict()) == fast
+    assert fast.label().endswith("/backend=vectorized")
+    # distinct fingerprints (distinct record bytes: the scenario tag differs) ...
+    assert run_fingerprint("rooted_sync", fast) != run_fingerprint("rooted_sync", spec)
+    # ... but identical derived seeds: the world itself is backend-independent.
+    assert fast.base_dict() == spec.base_dict()
+
+
+def test_sweep_with_backend_maps_every_scenario():
+    sweep = SweepSpec.from_grid(
+        name="b",
+        algorithms=["random_walk"],
+        graphs=[{"family": "line", "params": {"n": 8}}],
+        ks=[4],
+    )
+    fast = sweep.with_backend("vectorized")
+    assert all(s.backend == "vectorized" for s in fast.scenarios)
+    assert all(s.backend == DEFAULT_BACKEND for s in sweep.scenarios)
+    assert [s.with_backend(DEFAULT_BACKEND) for s in fast.scenarios] == list(
+        sweep.scenarios
+    )
+
+
+def test_backend_is_a_kernel_backend_subclass_contract():
+    """Every registered backend satisfies the abstract protocol."""
+    for name in BACKEND_NAMES:
+        if not backend_available(name):
+            continue
+        backend = get_backend(name)
+        assert isinstance(backend, KernelBackend)
+        assert backend.name == name
+        assert backend.kernel is None  # unbound until an engine adopts it

@@ -446,3 +446,111 @@ def test_empty_algorithm_filter_value_exits_two(tmp_path, capsys):
                  "--out", str(tmp_path / "x.json"), "--quiet"])
     assert code == 2
     assert "no algorithm names" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------ backend axis
+
+
+def test_run_backend_vectorized_tags_the_record(capsys):
+    pytest.importorskip("numpy")
+    code = main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=12", "--k", "6", "--backend", "vectorized", "--json",
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["status"] == "ok" and record["dispersed"]
+    assert record["scenario"]["backend"] == "vectorized"
+
+
+def test_run_default_backend_stays_untagged(capsys):
+    code = main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=12", "--k", "6", "--json",
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)
+    assert "backend" not in record["scenario"]
+
+
+def test_run_rejects_unknown_backend(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "run", "--algorithm", "rooted_sync", "--family", "line",
+            "--param", "n=12", "--k", "6", "--backend", "gpu",
+        ])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_sweep_backend_tags_every_record(tmp_path, capsys):
+    pytest.importorskip("numpy")
+    out = tmp_path / "vec.json"
+    code = main(["sweep", "--smoke", "--backend", "vectorized",
+                 "--out", str(out), "--quiet"])
+    assert code == 0
+    records = json.loads(out.read_text())["records"]
+    assert records
+    for record in records:
+        assert record["scenario"]["backend"] == "vectorized"
+
+
+def test_list_shows_backend_availability(capsys):
+    code = main(["list"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "backend reference" in out
+    assert "[default]" in out
+    assert "backend vectorized" in out
+
+
+def test_bench_writes_report_and_guards_itself(tmp_path, capsys, monkeypatch):
+    from repro.runner import bench as bench_mod
+
+    # schema/exit-code test, not a measurement: shrink the worlds and budgets
+    monkeypatch.setattr(bench_mod, "QUICK_BUDGET_S", 0.02)
+    monkeypatch.setattr(bench_mod, "QUICK_NODES", 36)
+    out = tmp_path / "BENCH_kernel.json"
+    code = main([
+        "bench", "--quick", "--backend", "reference",
+        "--workload", "random_walk", "--out", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "kernel bench [quick]" in stdout
+    assert f"wrote bench report to {out}" in stdout
+    payload = json.loads(out.read_text())
+    assert payload["format"] == "repro-bench-v1"
+    assert list(payload["tiers"]) == ["quick"]
+    # a fresh run gated against its own report always passes
+    code = main([
+        "bench", "--quick", "--backend", "reference",
+        "--workload", "random_walk", "--out", str(tmp_path / "again.json"),
+        "--check", str(out), "--tolerance", "0.9",
+    ])
+    assert code == 0
+    assert "bench-guard: speedups within" in capsys.readouterr().out
+
+
+def test_bench_check_flags_an_impossible_baseline(tmp_path, capsys, monkeypatch):
+    pytest.importorskip("numpy")
+    from repro.runner import bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "QUICK_BUDGET_S", 0.02)
+    monkeypatch.setattr(bench_mod, "QUICK_NODES", 36)
+    baseline = {
+        "format": "repro-bench-v1", "quick": True, "seed": 0,
+        "tiers": {"quick": {
+            "nodes": 36, "agents": 36, "results": [],
+            "speedups": {"random_walk": {"vectorized": 1e9}},
+        }},
+    }
+    base_path = tmp_path / "impossible.json"
+    base_path.write_text(json.dumps(baseline))
+    code = main([
+        "bench", "--quick", "--workload", "random_walk",
+        "--backend", "reference", "--backend", "vectorized",
+        "--out", str(tmp_path / "fresh.json"), "--check", str(base_path),
+    ])
+    assert code == 1
+    assert "BENCH REGRESSION" in capsys.readouterr().err

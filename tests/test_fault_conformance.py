@@ -36,11 +36,11 @@ from repro.core.general_sync import GeneralSyncDispersion
 from repro.core.rooted_async import RootedAsyncDispersion
 from repro.core.rooted_sync import RootedSyncDispersion
 from repro.graph import generators
+from repro.runner.execute import build_engine
 from repro.sim.adversary import RoundRobinAdversary
-from repro.sim.async_engine import AsyncEngine, Move, Stay
-from repro.sim.faults import FaultInjector, FaultSchedule
+from repro.sim.async_engine import Move, Stay
+from repro.sim.faults import FaultSchedule
 from repro.sim.instrumentation import InstrumentationConfig, instrument
-from repro.sim.sync_engine import SyncEngine
 
 
 def make_agents(k: int, start: int = 0, max_degree: int = 4):
@@ -101,11 +101,13 @@ def _probe_snapshot(engine, n):
 def run_sync_walk(schedule):
     graph = generators.line(N)
     agents = make_agents(K, max_degree=graph.max_degree)
-    injector = FaultInjector.from_schedule(
-        [a.agent_id for a in agents], **schedule
+    engine = build_engine(
+        graph=graph,
+        agents=agents,
+        fault_schedule=FaultSchedule(**schedule),
+        record_fault_observations=True,
     )
-    injector.record_observations = True
-    engine = SyncEngine(graph, agents, fault_injector=injector)
+    injector = engine.fault_injector
     probe_log = []
     for _round in range(ROUNDS):
         probe_log.append(_probe_snapshot(engine, N))
@@ -136,13 +138,17 @@ def run_async_walk(schedule, adversary=None):
     """
     graph = generators.line(N)
     agents = make_agents(K, max_degree=graph.max_degree)
-    injector = FaultInjector.from_schedule(
-        [a.agent_id for a in agents], **_scaled(schedule, K)
-    )
-    injector.record_observations = True
     if adversary is None:
         adversary = RoundRobinAdversary()
-    engine = AsyncEngine(graph, agents, adversary=adversary, fault_injector=injector)
+    engine = build_engine(
+        setting="async",
+        graph=graph,
+        agents=agents,
+        adversary=adversary,
+        fault_schedule=FaultSchedule(**_scaled(schedule, K)),
+        record_fault_observations=True,
+    )
+    injector = engine.fault_injector
 
     def walk_and_settle(agent):
         for port in right_ports(graph, agent.agent_id - 1):
@@ -370,8 +376,9 @@ def test_sync_crashed_agent_neither_settles_nor_answers_probe():
     moves, so this test fails there; its ASYNC twin below always passed."""
     graph = generators.line(6)
     agents = make_agents(3, start=3, max_degree=graph.max_degree)
-    injector = FaultInjector.from_schedule([1, 2, 3], crash_at={2: 0})
-    engine = SyncEngine(graph, agents, fault_injector=injector)
+    engine = build_engine(
+        graph=graph, agents=agents, fault_schedule=FaultSchedule(crash_at={2: 0})
+    )
 
     # Agent 2 sits, unsettled, on node 3.  The Communicate query must not
     # offer it -- so no driver can choose it as a settlement candidate.
@@ -396,8 +403,10 @@ def test_sync_crashed_agent_neither_settles_nor_answers_probe():
 def test_sync_frozen_settler_stops_answering_probes_until_thaw():
     graph = generators.line(6)
     agents = make_agents(1, start=2, max_degree=graph.max_degree)
-    injector = FaultInjector.from_schedule([1], freeze_windows={1: (2, 5)})
-    engine = SyncEngine(graph, agents, fault_injector=injector)
+    engine = build_engine(
+        graph=graph, agents=agents, fault_schedule=FaultSchedule(freeze_windows={1: (2, 5)})
+    )
+    injector = engine.fault_injector
     agents[0].settle(2, None)
 
     answered = []
@@ -414,9 +423,15 @@ def test_async_crashed_agent_neither_settles_nor_answers_probe():
     so the settle program never executes (this always held)."""
     graph = generators.line(6)
     agents = make_agents(3, start=3, max_degree=graph.max_degree)
-    injector = FaultInjector.from_schedule([1, 2, 3], crash_at={2: 0})
     adversary = RoundRobinAdversary()
-    engine = AsyncEngine(graph, agents, adversary=adversary, fault_injector=injector)
+    engine = build_engine(
+        setting="async",
+        graph=graph,
+        agents=agents,
+        adversary=adversary,
+        fault_schedule=FaultSchedule(crash_at={2: 0}),
+    )
+    injector = engine.fault_injector
 
     def settle_self(agent):
         agent.settle(agent.position, None)
