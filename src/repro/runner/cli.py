@@ -15,7 +15,13 @@ Five subcommand families mirror the workflow the benchmarks automate:
 * ``repro db``     -- the experiment-store toolbox: ``query`` filtered
   records into artifact files, ``diff`` two snapshots (stores or artifacts)
   for metric regressions, ``import`` legacy artifacts, ``gc`` stale
-  code-version records, ``stats`` the store's shape.
+  code-version records, ``stats`` the store's shape, ``traces`` the
+  content-addressed trace index;
+* ``repro trace``  -- inspect a recorded ``repro-trace-v1`` execution trace
+  (from a ``--trace`` run record, sweep artifact, store, or trace file):
+  ``--summary`` text with a replay-verification verdict, ``--json`` the raw
+  payload, ``--html`` a self-contained browser replay page
+  (play/pause/step/scrub, fault overlays, counter timeline; no network).
 
 ``run``/``sweep`` accept ``--backend {reference,vectorized}`` to pick the
 kernel state layout; records are backend-invariant apart from the scenario's
@@ -48,6 +54,11 @@ Examples
     repro sweep --smoke --store artifacts/runs.sqlite --progress --out artifacts/smoke.json
     repro sweep --smoke --store artifacts/runs.sqlite --resume
     repro sweep --smoke --backend vectorized --out artifacts/smoke-vec.json
+    repro run --algorithm rooted_sync --family ring --param n=24 --k 16 \\
+        --faults crash:0.1 --trace --trace-out artifacts/run-trace.json
+    repro sweep --smoke --trace --faults crash:0.15 --out artifacts/traced.json
+    repro trace artifacts/traced.json --algorithm rooted_sync --summary
+    repro trace artifacts/run-trace.json --html artifacts/replay.html
     repro report artifacts/smoke.json
     repro bench --quick --out artifacts/BENCH_kernel.json
     repro bench --quick --check benchmarks/BENCH_kernel.json --tolerance 0.25
@@ -63,7 +74,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner import artifacts as artifacts_mod
 from repro.runner.execute import RunRecord, run_scenario
@@ -214,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
         "or vectorized (numpy struct-of-arrays; needs the 'fast' extra). "
         "Records are identical either way, only speed differs",
     )
+    run_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a repro-trace-v1 execution trace; the payload lands on "
+        "the record (inspect it with 'repro trace')",
+    )
+    run_p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the trace payload to this JSON file (implies --trace)",
+    )
     run_p.add_argument("--json", action="store_true", help="print the full record as JSON")
 
     sweep_p = sub.add_parser("sweep", help="run a scenario grid and write artifacts")
@@ -276,9 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
         "are served), this flag just validates that a --store was given",
     )
     sweep_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a repro-trace-v1 execution trace on every run; records "
+        "embed the payload and stores index it (see 'repro db traces')",
+    )
+    sweep_p.add_argument(
         "--progress",
         action="store_true",
-        help="one-line progress on stderr: records done/total, cache hits, ETA",
+        help="one-line progress on stderr: records done/total, cache hits, "
+        "fault events, invariant violations, ETA",
     )
 
     report_p = sub.add_parser("report", help="print comparison tables from an artifact")
@@ -340,6 +370,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_p = db_sub.add_parser("stats", help="summarize a store's contents")
     stats_p.add_argument("store", help="path to an experiment store")
+
+    traces_p = db_sub.add_parser(
+        "traces", help="list the store's content-addressed trace index"
+    )
+    traces_p.add_argument("store", help="path to an experiment store")
+    traces_p.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated algorithm names, or 'paper'",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect or replay a recorded repro-trace-v1 execution trace"
+    )
+    trace_p.add_argument(
+        "run",
+        help="where the trace lives: a trace JSON file (repro run --trace-out), "
+        "a sweep artifact with traced records, or an experiment store",
+    )
+    trace_p.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="NAME",
+        help="select the traced record of this algorithm (artifact/store inputs)",
+    )
+    trace_p.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="select the i-th matching traced record (artifact/store inputs)",
+    )
+    trace_p.add_argument(
+        "--fingerprint",
+        default=None,
+        metavar="HEX",
+        help="select a store record by (a unique prefix of) its fingerprint",
+    )
+    trace_p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the text summary with a replay-verification verdict (default)",
+    )
+    trace_p.add_argument(
+        "--json",
+        default=None,
+        dest="json_out",
+        metavar="PATH",
+        help="write the raw repro-trace-v1 payload to this file",
+    )
+    trace_p.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="write a self-contained browser replay page (inline JS/CSS, no "
+        "network) to this file",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -410,8 +497,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=parse_faults(args.faults) if args.faults is not None else {},
         check_invariants=args.check_invariants,
         backend=args.backend,
+        trace=args.trace or bool(args.trace_out),
     )
     record = run_scenario(args.algorithm, scenario)
+    if record.trace is not None and args.trace_out:
+        import os
+
+        from repro.sim.trace import canonical_trace_json
+
+        parent = os.path.dirname(os.path.abspath(args.trace_out))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical_trace_json(record.trace))
+            fh.write("\n")
+        # stderr so --json stdout stays a single parseable JSON document.
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
     if args.json:
         print(json.dumps(record.to_dict(), sort_keys=True, indent=2))
     else:
@@ -427,6 +527,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  fault_events={record.fault_events}")
         if record.invariant_violations is not None:
             print(f"  invariant_violations={record.invariant_violations}")
+        if record.trace is not None:
+            from repro.sim.trace import trace_stats
+
+            stats = trace_stats(record.trace)
+            print(
+                f"  trace: {stats['events']} event(s) across "
+                f"{stats['segments']} segment(s) [{stats['granularity']}]"
+            )
     if record.status != "ok":
         return 1
     return 1 if record.invariant_violations else 0
@@ -463,12 +571,14 @@ def _parse_algorithm_names(text: str) -> List[str]:
 
 
 class _ProgressLine:
-    """The ``--progress`` stderr line: done/total, cache hits, ETA.
+    """The ``--progress`` stderr line: done/total, cache hits, faults, ETA.
 
     On a TTY the line redraws in place (carriage return); on a pipe each
     update is its own line so logs stay readable.  The ETA extrapolates from
     *executed* jobs only -- cache hits are effectively free, and counting them
-    would make the estimate collapse toward zero on warm sweeps.
+    would make the estimate collapse toward zero on warm sweeps.  Fault events
+    and invariant violations accumulate across records so a long faulty sweep
+    shows its injected-failure volume without waiting for the final summary.
     """
 
     def __init__(self, stream: Any = None) -> None:
@@ -476,6 +586,8 @@ class _ProgressLine:
         self._start = time.monotonic()
         self._hits = 0
         self._executed = 0
+        self._faults = 0
+        self._violations = 0
         self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
         self._last_width = 0
 
@@ -484,13 +596,18 @@ class _ProgressLine:
             self._hits += 1
         else:
             self._executed += 1
+        self._faults += record.get("fault_events") or 0
+        self._violations += record.get("invariant_violations") or 0
         remaining = total - done
         if self._executed:
             eta = remaining * (time.monotonic() - self._start) / self._executed
             eta_text = f"{eta:.1f}s"
         else:
             eta_text = "0.0s" if remaining == 0 else "?"
-        line = f"[{done}/{total}] hits={self._hits} eta={eta_text}"
+        line = (
+            f"[{done}/{total}] hits={self._hits} faults={self._faults} "
+            f"viol={self._violations} eta={eta_text}"
+        )
         if self._tty:
             pad = " " * max(0, self._last_width - len(line))
             self._stream.write(f"\r{line}{pad}")
@@ -517,6 +634,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.backend:
         require_backend(args.backend)  # one clear error beats a sweep of them
         sweep = sweep.with_backend(args.backend)
+    if args.trace:
+        sweep = sweep.with_trace()
     profiles = [parse_faults(text) for text in args.faults]
     if profiles:
         # --check-invariants switches checking on everywhere; without it each
@@ -712,6 +831,20 @@ def _cmd_db(args: argparse.Namespace) -> int:
                 print(f"{path}: imported {added} record(s), skipped {skipped} already stored")
         return 0
 
+    if args.db_command == "traces":
+        with RunStore(args.store, create=False) as store:
+            rows = store.traces(
+                algorithms=_parse_algorithm_names(args.algorithm) if args.algorithm else None
+            )
+        for row in rows:
+            print(
+                f"{row['fingerprint'][:12]} {row['algorithm']:14s} "
+                f"{row['granularity']:11s} events={row['events']} "
+                f"bytes={row['bytes']} hash={row['content_hash'][:12]}"
+            )
+        print(f"{len(rows)} trace(s) indexed")
+        return 0
+
     # stats
     with RunStore(args.store, create=False) as store:
         stats = store.stats()
@@ -719,6 +852,7 @@ def _cmd_db(args: argparse.Namespace) -> int:
     for algorithm, versions in stats["per_algorithm"].items():
         for version, count in versions.items():
             print(f"  {algorithm:14s} v{version}: {count}")
+    print(f"traces indexed: {stats['traces']}")
     print(f"collectable by gc: {stats['collectable']}")
     return 0
 
@@ -736,6 +870,13 @@ def _cmd_list() -> int:
         status = "available" if name in usable else "unavailable (install the 'fast' extra)"
         default = " [default]" if name == DEFAULT_BACKEND else ""
         print(f"backend {name:11s} {status}{default}")
+    print()
+    for spec in list_algorithms():
+        if spec.setting == "sync":
+            capability = "round-granularity trace (SYNC lockstep rounds)"
+        else:
+            capability = "activation-granularity trace (ASYNC activations + schedule)"
+        print(f"trace {spec.name:14s} {capability}")
     return 0
 
 
@@ -767,6 +908,108 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_trace(args: argparse.Namespace) -> Tuple[Dict[str, Any], str]:
+    """Resolve ``repro trace RUN`` to exactly one ``(payload, label)``.
+
+    ``RUN`` may be a raw trace JSON file (``repro run --trace-out``), a sweep
+    artifact (``repro sweep --trace``), or a run store (``--store``).  When
+    the source holds more than one trace, ``--algorithm``/``--fingerprint``
+    narrow it down and ``--index`` picks one of what remains.
+    """
+    from repro.sim.trace import TRACE_FORMAT
+    from repro.store import is_store_file
+
+    candidates: List[Tuple[Dict[str, Any], str]] = []
+    if is_store_file(args.run):
+        from repro.store import RunStore
+
+        with RunStore(args.run, create=False) as store:
+            if args.fingerprint:
+                rows = [
+                    row
+                    for row in store.traces()
+                    if row["fingerprint"].startswith(args.fingerprint)
+                ]
+                if not rows:
+                    raise ValueError(
+                        f"no stored trace matches fingerprint {args.fingerprint!r}"
+                    )
+                for row in rows:
+                    payload = store.get_trace(row["fingerprint"])
+                    if payload is not None:
+                        candidates.append(
+                            (payload, f"{row['algorithm']} @ {row['fingerprint'][:12]}")
+                        )
+            else:
+                for row in store.traces():
+                    payload = store.get_trace(row["fingerprint"])
+                    if payload is not None:
+                        candidates.append(
+                            (payload, f"{row['algorithm']} @ {row['fingerprint'][:12]}")
+                        )
+    else:
+        with open(args.run, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if isinstance(data, dict) and data.get("format") == TRACE_FORMAT:
+            candidates.append((data, args.run))
+        else:
+            for record in artifacts_mod.load_json(args.run):
+                if record.trace is not None:
+                    scenario = record.scenario
+                    label = (
+                        f"{record.algorithm} on {scenario['family']}"
+                        f"/k={scenario['k']}/seed={scenario['seed']}"
+                    )
+                    candidates.append((record.trace, label))
+    if args.algorithm:
+        names = set(_parse_algorithm_names(args.algorithm))
+        candidates = [
+            (payload, label)
+            for payload, label in candidates
+            if payload.get("algorithm") in names
+        ]
+    if not candidates:
+        raise ValueError(
+            f"no trace found in {args.run!r} -- record one with "
+            "'repro run --trace-out' or 'repro sweep --trace'"
+        )
+    if args.index is not None:
+        if not 0 <= args.index < len(candidates):
+            raise ValueError(
+                f"--index {args.index} out of range: {len(candidates)} trace(s) available"
+            )
+        return candidates[args.index]
+    if len(candidates) > 1:
+        raise ValueError(
+            f"{args.run!r} holds {len(candidates)} traces -- pick one with "
+            "--index/--algorithm/--fingerprint:\n"
+            + "\n".join(f"  [{i}] {label}" for i, (_, label) in enumerate(candidates))
+        )
+    return candidates[0]
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import canonical_trace_json
+    from repro.viz import render_html, summarize
+
+    payload, label = _resolve_trace(args)
+    wrote_output = False
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical_trace_json(payload))
+            fh.write("\n")
+        print(f"wrote trace to {args.json_out}")
+        wrote_output = True
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(payload, title=label))
+        print(f"wrote replay page to {args.html}")
+        wrote_output = True
+    if args.summary or not wrote_output:
+        print(summarize(payload, label=label))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -780,6 +1023,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_db(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_list()
     except BrokenPipeError:
         # stdout piped into `head` etc.; exiting quietly is the convention.

@@ -57,9 +57,12 @@ class RunRecord:
     fault_events: Optional[int] = None
     invariant_violations: Optional[int] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: The run's ``repro-trace-v1`` payload (:mod:`repro.sim.trace`); only
+    #: present when the scenario enabled tracing.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "algorithm": self.algorithm,
             "scenario": dict(self.scenario),
             "status": self.status,
@@ -81,6 +84,12 @@ class RunRecord:
             "invariant_violations": self.invariant_violations,
             "extra": dict(self.extra),
         }
+        # Emitted only when present: every key above serializes for every
+        # record, so an unconditional "trace": None would change the bytes of
+        # every existing artifact and store row.
+        if self.trace is not None:
+            data["trace"] = dict(self.trace)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
@@ -100,6 +109,7 @@ def build_engine(
     record_fault_observations: bool = False,
     check_invariants: bool = False,
     backend: Optional[str] = None,
+    trace: bool = False,
 ) -> Union[SyncEngine, AsyncEngine]:
     """The one factory behind every engine+injector+checker construction.
 
@@ -138,22 +148,25 @@ def build_engine(
         if backend is None:
             backend = scenario.backend
         config = build_instrumentation(scenario)
-        if config is None and (record_fault_observations or check_invariants):
+        if config is None and (record_fault_observations or check_invariants or trace):
             config = InstrumentationConfig()
         if config is not None:
             if record_fault_observations:
                 config.record_fault_observations = True
             if check_invariants:
                 config.check_invariants = True
+            if trace:
+                config.trace = True
     elif graph is None or agents is None:
         raise ValueError("build_engine needs a scenario or explicit graph+agents")
     else:
         config = None
-        if fault_schedule is not None or check_invariants:
+        if fault_schedule is not None or check_invariants or trace:
             config = InstrumentationConfig(
                 fault_schedule=fault_schedule,
                 record_fault_observations=record_fault_observations,
                 check_invariants=check_invariants,
+                trace=trace,
             )
     with instrument(config):
         if setting == "sync":
@@ -246,3 +259,7 @@ def _record_instrumentation(
         record.fault_events = config.fault_events()
     if config.check_invariants:
         record.invariant_violations = config.violation_count()
+    if config.trace and config.recorders:
+        from repro.sim.trace import trace_payload
+
+        record.trace = trace_payload(config.recorders, algorithm=record.algorithm)

@@ -146,6 +146,14 @@ class ScenarioSpec:
         its exact bytes.  The backend is excluded from all seed derivation:
         it must never change what a run computes, only how fast (the
         differential suite enforces record equality across backends).
+    trace:
+        Record a ``repro-trace-v1`` execution trace (:mod:`repro.sim.trace`)
+        on the run's engine(s); the payload lands on the run record.  The
+        default ``False`` is *omitted* from the serialized spec, the canonical
+        key/digest, and the store fingerprint (the backend-field trick again),
+        so every pre-trace record, artifact, and store row keeps its exact
+        bytes.  Tracing is excluded from all seed derivation: it observes a
+        run, it must never change one.
     """
 
     family: str
@@ -163,6 +171,7 @@ class ScenarioSpec:
     faults: Mapping[str, Any] = field(default_factory=dict)
     check_invariants: bool = False
     backend: str = DEFAULT_BACKEND
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.family not in GRAPH_FAMILIES:
@@ -192,6 +201,7 @@ class ScenarioSpec:
         # through FaultSpec (which also validates it): profiles that spell out
         # default fields or use int probabilities must key/fingerprint/seed
         # identically to their canonical minimal form.
+        object.__setattr__(self, "trace", bool(self.trace))
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "adversary_params", dict(self.adversary_params))
         object.__setattr__(self, "scheduler_params", dict(self.scheduler_params))
@@ -243,6 +253,11 @@ class ScenarioSpec:
         # *measurements*, only which kernel state layout computed them.
         if self.backend != DEFAULT_BACKEND:
             data["backend"] = self.backend
+        # Tracing serializes only when enabled, for the same byte stability;
+        # like the backend it never changes the record's *measurements*, only
+        # whether a replayable event log rides along.
+        if self.trace:
+            data["trace"] = True
         data["faults"] = dict(self.faults)
         data["check_invariants"] = self.check_invariants
         return data
@@ -312,6 +327,16 @@ class ScenarioSpec:
         """
         return replace(self, backend=backend)
 
+    def with_trace(self, trace: bool = True) -> "ScenarioSpec":
+        """The same scenario with execution tracing toggled.
+
+        Tracing only *observes*: the graph, placements, seeds, schedules, and
+        every measured metric are unchanged by construction (the trace
+        determinism suite pins this) -- the run record just gains the
+        ``repro-trace-v1`` payload.
+        """
+        return replace(self, trace=trace)
+
     def label(self) -> str:
         """Compact human-readable tag used in logs and CSV rows."""
         params = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
@@ -320,6 +345,8 @@ class ScenarioSpec:
             tag += f"/sched={self.scheduler}"
         if self.backend != DEFAULT_BACKEND:
             tag += f"/backend={self.backend}"
+        if self.trace:
+            tag += "/trace"
         return tag
 
 
@@ -425,6 +452,7 @@ def build_instrumentation(spec: ScenarioSpec) -> Optional[InstrumentationConfig]
         not fault_spec.is_active
         and not spec.check_invariants
         and spec.backend == DEFAULT_BACKEND
+        and not spec.trace
     ):
         return None
     return InstrumentationConfig(
@@ -432,6 +460,7 @@ def build_instrumentation(spec: ScenarioSpec) -> Optional[InstrumentationConfig]
         fault_seed=derive_fault_seed(spec),
         check_invariants=spec.check_invariants,
         backend=spec.backend if spec.backend != DEFAULT_BACKEND else None,
+        trace=spec.trace,
     )
 
 

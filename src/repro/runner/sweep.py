@@ -141,6 +141,17 @@ class SweepSpec:
         scenarios = [scenario.with_backend(backend) for scenario in self.scenarios]
         return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
 
+    def with_trace(self, trace: bool = True) -> "SweepSpec":
+        """Record an execution trace on every scenario of this sweep.
+
+        Measurements are untouched (tracing only observes; the trace
+        determinism suite pins this); every record gains a ``repro-trace-v1``
+        payload, which worker processes ship back inside the record dict like
+        any other field.
+        """
+        scenarios = [scenario.with_trace(trace) for scenario in self.scenarios]
+        return SweepSpec(name=self.name, algorithms=list(self.algorithms), scenarios=scenarios)
+
     def with_invariants(self, check_invariants: bool = True) -> "SweepSpec":
         """Toggle invariant checking everywhere *without* touching fault profiles.
 

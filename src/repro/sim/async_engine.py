@@ -243,6 +243,8 @@ class AsyncEngine:
                 injector.record_blocked(agent_id, now)
                 if checker is not None:
                     checker.after_tick(now + 1)
+                if kernel.trace is not None:
+                    kernel.trace.record_activation(agent_id)
                 return
 
         # Program code running below belongs to this activation: any fault
@@ -292,6 +294,8 @@ class AsyncEngine:
             self._active_this_epoch.clear()
         if checker is not None:
             checker.after_tick(now + 1)
+        if kernel.trace is not None:
+            kernel.trace.record_activation(agent_id)
 
     # ------------------------------------------------------------ observation
     # The kernel's observation queries are the single documented query

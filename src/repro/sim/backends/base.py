@@ -146,6 +146,8 @@ class KernelBackend(ABC):
             kernel.metrics.rounds += 1
             if settle:
                 self._settle_pass(blocked)
+            if kernel.trace is not None:
+                kernel.trace.record_tick()
         return steps
 
     def _settle_pass(self, blocked: frozenset[int]) -> None:

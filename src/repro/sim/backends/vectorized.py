@@ -258,6 +258,19 @@ class VectorizedBackend(KernelBackend):
                         winners = candidates[first]
                         settled[winners] = True
                         has_settler[nodes[first]] = True
+            if kernel.trace is not None:
+                # The Agent objects only sync back after the block, so the
+                # recorder diffs against the live arrays instead; the RNG
+                # stream is untouched, so tracing cannot change the walk.
+                ids = self._ids.tolist()
+                kernel.trace.record_tick(
+                    positions={
+                        int(a): int(p) for a, p in zip(ids, pos.tolist())
+                    },
+                    settled={
+                        int(a) for a, s in zip(ids, settled.tolist()) if s
+                    },
+                )
         self._sync_back(pos, pin, moved, settled)
         return steps
 

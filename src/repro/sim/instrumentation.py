@@ -33,6 +33,8 @@ from repro.sim.invariants import InvariantChecker
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agents.agent import Agent
     from repro.graph.port_graph import PortLabeledGraph
+    from repro.sim.kernel import ExecutionKernel
+    from repro.sim.trace import TraceRecorder
 
 __all__ = ["InstrumentationConfig", "instrument", "current"]
 
@@ -61,7 +63,11 @@ class InstrumentationConfig:
         under the context uses for its world state; ``None`` keeps the
         ``"reference"`` default.  This is how ``--backend`` reaches engines
         that algorithm drivers construct internally, exactly as faults do.
-    injectors, checkers:
+    trace:
+        Attach a :class:`~repro.sim.trace.TraceRecorder` to every kernel built
+        under the context; the run's recorders serialize into one
+        ``repro-trace-v1`` payload (see :func:`repro.sim.trace.trace_payload`).
+    injectors, checkers, recorders:
         Every instance handed to an engine while the context was active, in
         construction order.  The caller reads counts from these even when the
         run aborts mid-way (fault sweeps *expect* aborted runs).
@@ -75,8 +81,10 @@ class InstrumentationConfig:
     check_every: int = 1
     strict: bool = False
     backend: Optional[str] = None
+    trace: bool = False
     injectors: List[FaultInjector] = field(default_factory=list)
     checkers: List[InvariantChecker] = field(default_factory=list)
+    recorders: List["TraceRecorder"] = field(default_factory=list)
 
     def make_injector(self, agent_ids: Sequence[int]) -> Optional[FaultInjector]:
         if self.fault_schedule is not None:
@@ -103,10 +111,24 @@ class InstrumentationConfig:
         self.checkers.append(checker)
         return checker
 
+    def make_recorder(self, kernel: "ExecutionKernel") -> "TraceRecorder":
+        """Build, register, and return a trace recorder for ``kernel``.
+
+        Imported lazily: the trace module is pure observation and must never
+        tax engine construction when tracing is off (the kernel only calls
+        this behind ``config.trace``).
+        """
+        from repro.sim.trace import TraceRecorder
+
+        recorder = TraceRecorder(kernel)
+        self.recorders.append(recorder)
+        return recorder
+
     @property
     def active(self) -> bool:
         return (
             self.check_invariants
+            or self.trace
             or self.fault_schedule is not None
             or (self.faults is not None and self.faults.is_active)
         )

@@ -36,7 +36,7 @@ composes with the kernel instead of re-implementing the world logic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
@@ -45,6 +45,9 @@ from repro.sim.backends import KernelBackend, resolve_backend
 from repro.sim.faults import AgentFaultView, FaultInjector
 from repro.sim.invariants import InvariantChecker
 from repro.sim.metrics import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import TraceRecorder
 
 __all__ = ["ExecutionKernel"]
 
@@ -114,6 +117,12 @@ class ExecutionKernel:
             backend = config.backend
         self.backend = resolve_backend(backend)
         self.backend.bind(self)
+        # The recorder snapshots initial positions through the backend, so it
+        # must resolve after the bind.  ``None`` is the tracing-off fast path:
+        # every hook below is a single attribute check.
+        self.trace: Optional["TraceRecorder"] = None
+        if config is not None and config.trace:
+            self.trace = config.make_recorder(self)
 
     @classmethod
     def for_engine(
@@ -207,18 +216,25 @@ class ExecutionKernel:
 
     def settled_agent_at(self, node: int) -> Optional[Agent]:
         """The settled agent at ``node`` that answers probes right now."""
+        found: Optional[Agent] = None
         for agent in self.agents_at(node):
             if agent.settled and self.fault_view(agent.agent_id).answers_probes:
-                return agent
-        return None
+                found = agent
+                break
+        if self.trace is not None:
+            self.trace.count_probe(found is not None)
+        return found
 
     def settled_agents_at(self, node: int) -> List[Agent]:
         """All settled agents at ``node`` that answer probes right now."""
-        return [
+        found = [
             a
             for a in self.agents_at(node)
             if a.settled and self.fault_view(a.agent_id).answers_probes
         ]
+        if self.trace is not None:
+            self.trace.count_probe(bool(found))
+        return found
 
     def positions(self) -> Dict[int, int]:
         """Snapshot of ``agent_id -> node``."""

@@ -162,6 +162,8 @@ class SyncEngine:
         metrics.rounds += 1
         if kernel.invariant_checker is not None:
             kernel.invariant_checker.after_tick(metrics.rounds)
+        if kernel.trace is not None:
+            kernel.trace.record_tick()
 
     def idle_rounds(self, count: int) -> None:
         """Advance ``count`` rounds in which nobody the caller controls moves.

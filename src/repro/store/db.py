@@ -61,6 +61,18 @@ CREATE TABLE IF NOT EXISTS runs (
 CREATE INDEX IF NOT EXISTS idx_runs_algorithm ON runs (algorithm);
 CREATE INDEX IF NOT EXISTS idx_runs_family ON runs (family, k);
 CREATE INDEX IF NOT EXISTS idx_runs_version ON runs (algorithm, code_version);
+CREATE TABLE IF NOT EXISTS traces (
+    fingerprint     TEXT PRIMARY KEY,
+    content_hash    TEXT NOT NULL,
+    algorithm       TEXT NOT NULL,
+    scenario_digest TEXT NOT NULL,
+    granularity     TEXT,
+    segments        INTEGER NOT NULL,
+    events          INTEGER NOT NULL,
+    bytes           INTEGER NOT NULL,
+    created_at      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_traces_algorithm ON traces (algorithm);
 """
 
 
@@ -160,9 +172,17 @@ class RunStore:
         entries: Iterable[Tuple[str, RunRecord]],
         code_version: Optional[str] = None,
     ) -> int:
-        """Insert a batch of ``(fingerprint, record)`` pairs in one transaction."""
+        """Insert a batch of ``(fingerprint, record)`` pairs in one transaction.
+
+        Records carrying a ``repro-trace-v1`` payload additionally index into
+        the content-addressed ``traces`` table (the payload itself stays
+        inline in the canonical record JSON, so reads stay one lookup; the
+        index row carries the content hash and the summary columns ``repro db
+        traces`` lists).
+        """
         versions = code_versions()
         rows = []
+        trace_rows = []
         now = time.time()
         for fingerprint, record in entries:
             scenario = ScenarioSpec.from_dict(record.scenario)
@@ -182,6 +202,25 @@ class RunStore:
                 canonical_record_json(record),
                 now,
             ))
+            if record.trace is not None:
+                from repro.sim.trace import (
+                    canonical_trace_json,
+                    trace_digest,
+                    trace_stats,
+                )
+
+                stats = trace_stats(record.trace)
+                trace_rows.append((
+                    fingerprint,
+                    trace_digest(record.trace),
+                    record.algorithm,
+                    scenario.digest(),
+                    stats["granularity"],
+                    stats["segments"],
+                    stats["events"],
+                    len(canonical_trace_json(record.trace).encode("utf-8")),
+                    now,
+                ))
         try:
             with self._conn:  # one transaction for the whole batch
                 self._conn.executemany(
@@ -191,6 +230,14 @@ class RunStore:
                     " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     rows,
                 )
+                if trace_rows:
+                    self._conn.executemany(
+                        "INSERT OR REPLACE INTO traces (fingerprint, content_hash,"
+                        " algorithm, scenario_digest, granularity, segments,"
+                        " events, bytes, created_at)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        trace_rows,
+                    )
         except sqlite3.Error as exc:
             raise StoreError(f"store write failed: {exc}") from None
         return len(rows)
@@ -218,11 +265,17 @@ class RunStore:
         return added, skipped
 
     def delete(self, fingerprints: Sequence[str]) -> int:
-        """Remove the given fingerprints; returns how many existed."""
+        """Remove the given fingerprints; returns how many existed.
+
+        Trace index rows ride with their run record: deleting (and hence
+        ``gc``-ing) a fingerprint drops its ``traces`` row too.
+        """
+        keys = [(f,) for f in fingerprints]
         with self._conn:
+            self._conn.executemany("DELETE FROM traces WHERE fingerprint = ?", keys)
             cursor = self._conn.executemany(
                 "DELETE FROM runs WHERE fingerprint = ?",
-                [(f,) for f in fingerprints],
+                keys,
             )
         return cursor.rowcount if cursor.rowcount >= 0 else 0
 
@@ -325,6 +378,40 @@ class RunStore:
         """Every record, in the same deterministic order as :meth:`query`."""
         return self.query()
 
+    def traces(self, algorithms: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """The trace index rows, deterministically ordered (for ``repro db traces``).
+
+        Each row summarizes one stored ``repro-trace-v1`` payload: the run
+        fingerprint it belongs to, the payload's content hash, and the counts
+        the recorder serialized.  The payloads themselves live inline in the
+        run records (:meth:`get_trace`).
+        """
+        clauses = ""
+        params: List[Any] = []
+        if algorithms is not None:
+            if not list(algorithms):
+                return []
+            clauses = " WHERE algorithm IN (%s)" % ",".join("?" for _ in algorithms)
+            params.extend(algorithms)
+        rows = self._conn.execute(
+            "SELECT fingerprint, content_hash, algorithm, scenario_digest,"
+            " granularity, segments, events, bytes FROM traces" + clauses +
+            " ORDER BY algorithm, scenario_digest, fingerprint",
+            params,
+        ).fetchall()
+        columns = (
+            "fingerprint", "content_hash", "algorithm", "scenario_digest",
+            "granularity", "segments", "events", "bytes",
+        )
+        return [dict(zip(columns, row)) for row in rows]
+
+    def get_trace(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The trace payload stored under a run fingerprint, or ``None``."""
+        record = self.get(fingerprint)
+        if record is None:
+            return None
+        return record.trace
+
     def count(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
 
@@ -341,5 +428,6 @@ class RunStore:
             "path": self.path,
             "records": self.count(),
             "per_algorithm": per_algorithm,
+            "traces": self._conn.execute("SELECT COUNT(*) FROM traces").fetchone()[0],
             "collectable": gc_preview.total,
         }

@@ -66,6 +66,12 @@ def fingerprint_material(
     # pre-backend fingerprint -- and store row -- valid.
     if scenario.backend != "reference":
         envelope["backend"] = scenario.backend
+    # Tracing never changes a record's measurements either, but a traced
+    # record *carries* the trace payload, so its bytes differ from the
+    # untraced record's -- it must key its own cache rows.  The disabled
+    # default is omitted, keeping every pre-trace fingerprint valid.
+    if scenario.trace:
+        envelope["trace"] = True
     return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
 
 

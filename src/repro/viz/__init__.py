@@ -1,0 +1,11 @@
+"""Visualization of recorded runs: the self-contained trace replay page.
+
+One renderer (:func:`render_html`) turns a ``repro-trace-v1`` payload
+(:mod:`repro.sim.trace`) into a single HTML file with inline CSS/JS and no
+network dependencies -- the trace-smoke CI job asserts the output contains no
+external URL -- plus :func:`summarize` for the text mode of ``repro trace``.
+"""
+
+from repro.viz.replay import render_html, summarize
+
+__all__ = ["render_html", "summarize"]

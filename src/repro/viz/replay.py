@@ -1,0 +1,412 @@
+"""Self-contained browser replay for ``repro-trace-v1`` payloads.
+
+:func:`render_html` emits one HTML document with everything inline: the trace
+payload as embedded JSON, a deterministic Python-computed graph layout, and a
+small vanilla-JS player (play/pause/step/scrub over ticks, fault overlays,
+settled rings, a counter timeline).  No script/style/font is fetched from
+anywhere -- the page works from ``file://`` on an air-gapped machine, which the
+trace-smoke CI job pins by grepping the output for external URLs.
+
+The layout is computed here rather than in the browser so it is a pure
+function of the payload (circle initialization plus a fixed-iteration
+Fruchterman–Reingold pass for small graphs): rendering the same trace twice
+yields byte-identical HTML.  SVG elements are created by assigning markup
+strings inside an inline ``<svg>`` (HTML5 parses that without any namespace
+machinery), which is also what keeps the page free of namespace URLs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.trace import TRACE_FORMAT, TraceError, trace_stats, verify_trace
+
+__all__ = ["render_html", "summarize"]
+
+#: Spring layout is O(n^2) per iteration; past this size the circle layout is
+#: both instant and more legible anyway.
+_SPRING_MAX_NODES = 300
+_SPRING_ITERATIONS = 60
+
+
+def _spring_layout(
+    n: int, edges: Sequence[Tuple[int, int]]
+) -> List[Tuple[float, float]]:
+    """Deterministic node coordinates in the unit disc (no RNG anywhere)."""
+    if n == 0:
+        return []
+    pos = [
+        [math.cos(2 * math.pi * i / n), math.sin(2 * math.pi * i / n)]
+        for i in range(n)
+    ]
+    if n < 3 or n > _SPRING_MAX_NODES or not edges:
+        return [(p[0], p[1]) for p in pos]
+    k = math.sqrt(4.0 / n)  # ideal edge length for a unit-disc area
+    temperature = 0.12
+    cooling = temperature / (_SPRING_ITERATIONS + 1)
+    for _ in range(_SPRING_ITERATIONS):
+        disp = [[0.0, 0.0] for _ in range(n)]
+        for i in range(n):
+            xi, yi = pos[i]
+            for j in range(i + 1, n):
+                dx = xi - pos[j][0]
+                dy = yi - pos[j][1]
+                d2 = dx * dx + dy * dy
+                if d2 < 1e-9:
+                    d2 = 1e-9
+                f = k * k / d2
+                disp[i][0] += dx * f
+                disp[i][1] += dy * f
+                disp[j][0] -= dx * f
+                disp[j][1] -= dy * f
+        for u, v in edges:
+            dx = pos[u][0] - pos[v][0]
+            dy = pos[u][1] - pos[v][1]
+            d = math.sqrt(dx * dx + dy * dy)
+            if d < 1e-9:
+                continue
+            pull = d / k
+            disp[u][0] -= dx * pull
+            disp[u][1] -= dy * pull
+            disp[v][0] += dx * pull
+            disp[v][1] += dy * pull
+        for i in range(n):
+            dx, dy = disp[i]
+            d = math.sqrt(dx * dx + dy * dy)
+            if d > 1e-9:
+                step = min(d, temperature)
+                pos[i][0] += dx / d * step
+                pos[i][1] += dy / d * step
+        temperature -= cooling
+    return [(p[0], p[1]) for p in pos]
+
+
+def _scaled_layout(
+    n: int,
+    edges: Sequence[Sequence[int]],
+    width: float = 860.0,
+    height: float = 560.0,
+    margin: float = 40.0,
+) -> List[List[float]]:
+    """Layout scaled into the SVG viewport, rounded for compact embedding."""
+    raw = _spring_layout(n, [(int(u), int(v)) for u, v in edges])
+    if not raw:
+        return []
+    xs = [p[0] for p in raw]
+    ys = [p[1] for p in raw]
+    span_x = (max(xs) - min(xs)) or 1.0
+    span_y = (max(ys) - min(ys)) or 1.0
+    return [
+        [
+            round(margin + (x - min(xs)) / span_x * (width - 2 * margin), 1),
+            round(margin + (y - min(ys)) / span_y * (height - 2 * margin), 1),
+        ]
+        for x, y in raw
+    ]
+
+
+def _embed_json(data: Any) -> str:
+    # "</" would terminate the surrounding <script> block mid-payload.
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).replace(
+        "</", "<\\/"
+    )
+
+
+_CSS = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 1rem;
+       background: #11141a; color: #d7dce2; }
+h1 { font-size: 1.05rem; margin: 0 0 .6rem 0; }
+#controls { display: flex; gap: .5rem; align-items: center; margin-bottom: .6rem;
+            flex-wrap: wrap; }
+#controls button, #controls select { background: #222835; color: #d7dce2;
+  border: 1px solid #3a4152; border-radius: 4px; padding: .25rem .6rem;
+  cursor: pointer; font: inherit; }
+#controls button:hover { background: #2c3444; }
+#scrub { flex: 1; min-width: 12rem; accent-color: #6ea8fe; }
+#tick { min-width: 9rem; text-align: right; }
+#main { display: flex; gap: 1rem; align-items: flex-start; flex-wrap: wrap; }
+#world { background: #171b24; border: 1px solid #2a3040; border-radius: 6px; }
+#side { width: 21rem; display: flex; flex-direction: column; gap: .6rem; }
+.panel { background: #171b24; border: 1px solid #2a3040; border-radius: 6px;
+         padding: .5rem .7rem; font-size: .82rem; }
+.panel h2 { font-size: .82rem; margin: 0 0 .3rem 0; color: #8fa1b8; }
+#log { max-height: 16rem; overflow-y: auto; }
+#log .past { color: #d7dce2; }
+#log .future { color: #525b6b; }
+#log .violation { color: #ff8f8f; }
+.legend span { margin-right: .8rem; }
+.dot { display: inline-block; width: .6rem; height: .6rem; border-radius: 50%;
+       margin-right: .25rem; vertical-align: middle; }
+"""
+
+_JS = """
+'use strict';
+const payload = JSON.parse(document.getElementById('trace-data').textContent);
+const layouts = JSON.parse(document.getElementById('layout-data').textContent);
+let segIndex = 0, t = 0, playing = false, timer = null, speed = 4;
+
+const el = id => document.getElementById(id);
+const svg = el('world'), spark = el('spark');
+
+function seg() { return payload.segments[segIndex]; }
+function maxT(s) {
+  let m = 0;
+  for (const e of s.events) if (e[0] > m) m = e[0];
+  const met = s.final.metrics;
+  const native = s.granularity === 'activations' ? met.activations : met.rounds;
+  return Math.max(m, native);
+}
+function stateAt(s, upto) {
+  const pos = {}, homes = {};
+  s.agents.forEach((a, i) => { pos[a] = s.init.positions[i]; });
+  const settled = new Set(s.init.settled);
+  const blocked = new Set();
+  const edges = new Set(s.graph.edges.map(e => e[0] + '-' + e[1]));
+  let moves = 0;
+  for (const e of s.events) {
+    if (e[0] > upto) break;
+    if (e[1] === 'move') { pos[e[2]] = e[4]; moves++; }
+    else if (e[1] === 'settle') { settled.add(e[2]); homes[e[2]] = e[3]; }
+    else if (e[1] === 'unsettle') { settled.delete(e[2]); delete homes[e[2]]; }
+    else if (e[1] === 'block') { blocked.add(e[2]); }
+    else if (e[1] === 'unblock') { blocked.delete(e[2]); }
+    else if (e[1] === 'churn') {
+      for (const r of e[2]) edges.delete(r[0] + '-' + r[1]);
+      for (const a of e[3]) edges.add(a[0] + '-' + a[1]);
+    }
+  }
+  return { pos, homes, settled, blocked, edges, moves };
+}
+function settledSeries(s) {
+  const end = maxT(s), series = new Array(end + 1).fill(0);
+  let count = s.init.settled.length;
+  let i = 0;
+  for (let tick = 0; tick <= end; tick++) {
+    while (i < s.events.length && s.events[i][0] <= tick) {
+      if (s.events[i][1] === 'settle') count++;
+      else if (s.events[i][1] === 'unsettle') count--;
+      i++;
+    }
+    series[tick] = count;
+  }
+  return series;
+}
+
+function render() {
+  const s = seg(), xy = layouts[segIndex], st = stateAt(s, t);
+  let out = '';
+  for (const key of st.edges) {
+    const [u, v] = key.split('-').map(Number);
+    if (!xy[u] || !xy[v]) continue;
+    out += `<line x1="${xy[u][0]}" y1="${xy[u][1]}" x2="${xy[v][0]}" y2="${xy[v][1]}" stroke="#3a4152" stroke-width="1"/>`;
+  }
+  const homeNodes = new Set();
+  for (const a of st.settled)
+    homeNodes.add(st.homes[a] !== undefined ? st.homes[a] : st.pos[a]);
+  for (let node = 0; node < s.graph.nodes; node++) {
+    const p = xy[node];
+    const ring = homeNodes.has(node)
+      ? ' stroke="#57d98f" stroke-width="2.5"' : ' stroke="#4a5264" stroke-width="1"';
+    out += `<circle cx="${p[0]}" cy="${p[1]}" r="7" fill="#232938"${ring}/>`;
+    if (s.graph.nodes <= 64)
+      out += `<text x="${p[0]}" y="${p[1] - 10}" fill="#667089" font-size="8" text-anchor="middle">${node}</text>`;
+  }
+  const byNode = {};
+  for (const a of s.agents) (byNode[st.pos[a]] = byNode[st.pos[a]] || []).push(a);
+  for (const node in byNode) {
+    const group = byNode[node], p = xy[node];
+    group.forEach((a, i) => {
+      const angle = 2 * Math.PI * i / group.length;
+      const r = group.length > 1 ? 11 : 0;
+      const x = p[0] + r * Math.cos(angle), y = p[1] + r * Math.sin(angle);
+      const fill = st.blocked.has(a) ? '#ff6b6b'
+        : st.settled.has(a) ? '#57d98f' : '#6ea8fe';
+      out += `<circle cx="${x.toFixed(1)}" cy="${y.toFixed(1)}" r="4.5" fill="${fill}"><title>agent ${a}${st.settled.has(a) ? ' (settled)' : ''}${st.blocked.has(a) ? ' (fault-blocked)' : ''}</title></circle>`;
+      if (st.blocked.has(a))
+        out += `<text x="${x.toFixed(1)}" y="${(y + 3).toFixed(1)}" fill="#fff" font-size="8" text-anchor="middle">x</text>`;
+    });
+  }
+  svg.innerHTML = out;
+
+  const end = maxT(s);
+  el('scrub').max = end;
+  el('scrub').value = t;
+  const unit = s.granularity === 'activations' ? 'activation' : 'round';
+  el('tick').textContent = `${unit} ${t} / ${end}`;
+  const sched = s.schedule && t > 0 ? ` active=${s.schedule[Math.min(t, s.schedule.length) - 1]}` : '';
+  el('counters').innerHTML =
+    `settled ${st.settled.size}/${s.agents.length} · blocked ${st.blocked.size}` +
+    ` · moves ${st.moves}/${s.counters.moves}${sched}`;
+
+  const series = settledSeries(s), w = 300, h = 56;
+  const peak = Math.max(s.agents.length, 1);
+  const pts = series.map((v, i) =>
+    `${(i / Math.max(end, 1) * w).toFixed(1)},${(h - 4 - v / peak * (h - 8)).toFixed(1)}`);
+  const cx = (t / Math.max(end, 1) * w).toFixed(1);
+  spark.innerHTML =
+    `<polyline points="${pts.join(' ')}" fill="none" stroke="#57d98f" stroke-width="1.5"/>` +
+    `<line x1="${cx}" y1="0" x2="${cx}" y2="${h}" stroke="#6ea8fe" stroke-width="1"/>`;
+
+  let log = '';
+  for (const f of s.faults) {
+    const cls = f[0] <= Math.max(t - 1, 0) && t > 0 ? 'past' : 'future';
+    log += `<div class="${cls}">t=${f[0]} ${f[1]}: ${f[2]}</div>`;
+  }
+  for (const v of s.violations)
+    log += `<div class="violation">t=${v[0]} INVARIANT ${v[1]}: ${v[2]}</div>`;
+  el('log').innerHTML = log || '<div class="future">no fault or violation events</div>';
+}
+
+function setPlaying(on) {
+  playing = on;
+  el('play').textContent = on ? 'pause' : 'play';
+  if (timer) { clearInterval(timer); timer = null; }
+  if (on) timer = setInterval(() => {
+    if (t >= maxT(seg())) { setPlaying(false); return; }
+    t++; render();
+  }, 1000 / speed);
+}
+
+el('play').addEventListener('click', () => setPlaying(!playing));
+el('back').addEventListener('click', () => { setPlaying(false); if (t > 0) { t--; render(); } });
+el('fwd').addEventListener('click', () => { setPlaying(false); if (t < maxT(seg())) { t++; render(); } });
+el('start').addEventListener('click', () => { setPlaying(false); t = 0; render(); });
+el('end').addEventListener('click', () => { setPlaying(false); t = maxT(seg()); render(); });
+el('scrub').addEventListener('input', e => { setPlaying(false); t = Number(e.target.value); render(); });
+el('speed').addEventListener('change', e => { speed = Number(e.target.value); if (playing) setPlaying(true); });
+document.addEventListener('keydown', e => {
+  if (e.key === 'ArrowRight') el('fwd').click();
+  else if (e.key === 'ArrowLeft') el('back').click();
+  else if (e.key === ' ') { e.preventDefault(); el('play').click(); }
+});
+const segSel = el('segment');
+if (segSel) segSel.addEventListener('change', e => {
+  setPlaying(false); segIndex = Number(e.target.value); t = 0; render();
+});
+render();
+"""
+
+
+def render_html(payload: Mapping[str, Any], title: Optional[str] = None) -> str:
+    """One self-contained replay page for a ``repro-trace-v1`` payload.
+
+    Raises :class:`~repro.sim.trace.TraceError` on a foreign or empty payload
+    (the CLI's clean-error path turns that into one line on stderr).
+    """
+    if payload.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"not a {TRACE_FORMAT} payload (format={payload.get('format')!r})"
+        )
+    segments = payload.get("segments", [])
+    if not segments:
+        raise TraceError("trace payload has no segments to replay")
+    layouts = [
+        _scaled_layout(s["graph"]["nodes"], s["graph"]["edges"]) for s in segments
+    ]
+    heading = title or f"{payload.get('algorithm') or 'trace'} replay"
+    segment_picker = ""
+    if len(segments) > 1:
+        options = "".join(
+            f'<option value="{i}">segment {i} ({s["granularity"]})</option>'
+            for i, s in enumerate(segments)
+        )
+        segment_picker = f'<select id="segment">{options}</select>'
+    stats = trace_stats(payload)
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{heading}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>{heading} &middot; {TRACE_FORMAT} &middot; {stats['events']} event(s)</h1>
+<div id="controls">
+<button id="start" title="jump to start">|&lt;</button>
+<button id="back" title="step back">&lt;</button>
+<button id="play">play</button>
+<button id="fwd" title="step forward">&gt;</button>
+<button id="end" title="jump to end">&gt;|</button>
+<select id="speed">
+<option value="2">2 ticks/s</option>
+<option value="4" selected>4 ticks/s</option>
+<option value="10">10 ticks/s</option>
+<option value="30">30 ticks/s</option>
+</select>
+{segment_picker}
+<input id="scrub" type="range" min="0" max="1" value="0">
+<span id="tick"></span>
+</div>
+<div id="main">
+<svg id="world" width="860" height="560" viewBox="0 0 860 560"></svg>
+<div id="side">
+<div class="panel legend">
+<span><span class="dot" style="background:#6ea8fe"></span>walking</span>
+<span><span class="dot" style="background:#57d98f"></span>settled</span>
+<span><span class="dot" style="background:#ff6b6b"></span>fault-blocked</span>
+</div>
+<div class="panel"><h2>counters</h2><div id="counters"></div></div>
+<div class="panel"><h2>settled agents over time</h2>
+<svg id="spark" width="300" height="56" viewBox="0 0 300 56"></svg></div>
+<div class="panel"><h2>faults &amp; violations</h2><div id="log"></div></div>
+</div>
+</div>
+<script id="trace-data" type="application/json">{_embed_json(payload)}</script>
+<script id="layout-data" type="application/json">{_embed_json(layouts)}</script>
+<script>{_JS}</script>
+</body>
+</html>
+"""
+
+
+def summarize(payload: Mapping[str, Any], label: Optional[str] = None) -> str:
+    """Text summary of a payload for ``repro trace --summary``.
+
+    Includes a replay verification verdict per payload: the events are applied
+    over the initial state and compared against the recorded final state, so a
+    corrupted or hand-edited trace is caught without opening a browser.
+    """
+    stats = trace_stats(payload)
+    problems = verify_trace(payload)
+    lines: List[str] = []
+    head = label or payload.get("algorithm") or "trace"
+    lines.append(
+        f"{TRACE_FORMAT}: {head} -- {stats['segments']} segment(s), "
+        f"{stats['events']} event(s), replay "
+        + ("ok" if not problems else "MISMATCH")
+    )
+    for index, segment in enumerate(payload.get("segments", [])):
+        counters: Dict[str, int] = segment.get("counters", {})
+        final = segment["final"]
+        metrics = final["metrics"]
+        native = (
+            metrics["activations"]
+            if segment["granularity"] == "activations"
+            else metrics["rounds"]
+        )
+        lines.append(
+            f"segment {index}: {segment['granularity']}={native} "
+            f"n={segment['graph']['nodes']} agents={len(segment['agents'])} "
+            f"settled={len(final['settled'])}/{len(segment['agents'])}"
+        )
+        lines.append(
+            f"  events={len(segment['events'])} moves={counters.get('moves', 0)} "
+            f"settles={counters.get('settles', 0)} "
+            f"blocked={counters.get('blocked', 0)} "
+            f"churn={counters.get('churn_events', 0)} "
+            f"probes={counters.get('probes_answered', 0)}"
+            f"/{counters.get('probe_queries', 0)}"
+        )
+        faults = segment.get("faults", [])
+        violations = segment.get("violations", [])
+        lines.append(
+            f"  faults={len(faults)} violations={len(violations)} "
+            f"total_moves={metrics['total_moves']}"
+        )
+        for time_, name, detail in violations[:3]:
+            lines.append(f"    [t={time_}] {name}: {detail}")
+    for problem in problems:
+        lines.append(f"REPLAY MISMATCH: {problem}")
+    return "\n".join(lines)

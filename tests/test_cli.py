@@ -329,7 +329,7 @@ def test_sweep_progress_line_lands_on_stderr(tmp_path, capsys):
                  "--out", str(tmp_path / "x.json")])
     assert code == 0
     err = capsys.readouterr().err
-    assert "[4/4] hits=0 eta=" in err
+    assert "[4/4] hits=0 faults=0 viol=0 eta=" in err
 
 
 def test_db_query_artifact_feeds_report(tmp_path, capsys):
@@ -554,3 +554,118 @@ def test_bench_check_flags_an_impossible_baseline(tmp_path, capsys, monkeypatch)
     ])
     assert code == 1
     assert "BENCH REGRESSION" in capsys.readouterr().err
+
+
+def test_list_shows_trace_capabilities(capsys):
+    from repro.runner.registry import list_algorithms
+
+    code = main(["list"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for spec in list_algorithms():
+        assert f"trace {spec.name}" in out
+        line = next(l for l in out.splitlines() if l.startswith(f"trace {spec.name}"))
+        if spec.setting == "sync":
+            assert "round-granularity" in line
+        else:
+            assert "activation-granularity" in line
+
+
+def test_run_trace_out_writes_versioned_payload(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=12", "--k", "6", "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "[rounds]" in out
+    payload = json.loads(trace_path.read_text())
+    assert payload["format"] == "repro-trace-v1"
+    assert payload["algorithm"] == "rooted_sync"
+    assert payload["segments"]
+
+
+def test_run_trace_json_stdout_stays_parseable(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "run", "--algorithm", "rooted_async", "--family", "ring",
+        "--param", "n=10", "--k", "5", "--json", "--trace-out", str(trace_path),
+    ])
+    assert code == 0
+    record = json.loads(capsys.readouterr().out)  # wrote-notice went to stderr
+    assert record["trace"]["format"] == "repro-trace-v1"
+    assert record["trace"]["segments"][0]["granularity"] == "activations"
+
+
+def test_trace_summary_reports_replay_ok(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "run", "--algorithm", "rooted_sync", "--family", "complete",
+        "--param", "n=8", "--k", "8", "--trace-out", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "replay ok" in out
+    assert "MISMATCH" not in out
+
+
+def test_trace_html_is_self_contained(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "run", "--algorithm", "rooted_sync", "--family", "line",
+        "--param", "n=12", "--k", "6", "--faults", "freeze:0.3:20",
+        "--trace-out", str(trace_path),
+    ]) == 0
+    html_path = tmp_path / "replay.html"
+    assert main(["trace", str(trace_path), "--html", str(html_path)]) == 0
+    html = html_path.read_text()
+    assert "http://" not in html and "https://" not in html
+    assert "<script>" in html and "<style>" in html
+    assert "repro-trace-v1" in html
+
+
+def test_sweep_trace_artifact_selection_and_store_roundtrip(tmp_path, capsys):
+    spec_path = _store_spec(tmp_path)
+    store = str(tmp_path / "runs.sqlite")
+    out = tmp_path / "traced.json"
+    assert main(["sweep", "--spec", spec_path, "--trace", "--store", store,
+                 "--out", str(out), "--quiet"]) == 0
+    capsys.readouterr()
+
+    # ambiguous input lists the candidates instead of guessing
+    assert main(["trace", str(out)]) == 2
+    err = capsys.readouterr().err
+    assert "4 traces" in err and "--index" in err
+
+    assert main(["trace", str(out), "--algorithm", "naive_dfs", "--index", "0"]) == 0
+    assert "naive_dfs" in capsys.readouterr().out
+
+    # the store indexes every trace and serves them back by fingerprint
+    assert main(["db", "traces", store]) == 0
+    out_text = capsys.readouterr().out
+    assert "4 trace(s) indexed" in out_text
+    fingerprint = out_text.split()[0]
+    assert main(["trace", store, "--fingerprint", fingerprint, "--summary"]) == 0
+    assert "replay ok" in capsys.readouterr().out
+
+    assert main(["db", "stats", store]) == 0
+    assert "traces indexed: 4" in capsys.readouterr().out
+
+
+def test_sweep_progress_line_counts_faults(tmp_path, capsys):
+    spec = {
+        "name": "cli-faulty",
+        "algorithms": ["rooted_sync"],
+        "graphs": [{"family": "complete", "params": {"n": 10}}],
+        "ks": [8],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    code = main(["sweep", "--spec", str(spec_path), "--progress", "--quiet",
+                 "--faults", "freeze:0.5:10", "--check-invariants",
+                 "--out", str(tmp_path / "x.json")])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "faults=" in err and "viol=" in err
