@@ -1,0 +1,62 @@
+"""Continuous falsification: sample scenarios, check them, shrink what fails.
+
+The runner makes every scenario a pure value (:class:`~repro.runner.scenario.
+ScenarioSpec`) and every run byte-deterministic; this package turns those two
+properties into a bug-hunting loop:
+
+* :mod:`repro.fuzz.sampler` -- deterministic random draws over the full axis
+  product (graph family x placement x scheduler x fault schedule), seeded per
+  trial so any draw can be replayed from ``(campaign seed, trial index)``;
+* :mod:`repro.fuzz.oracles` -- what "wrong" means: record-level invariant and
+  dispersal checks, the reference-vs-vectorized backend differential, and the
+  sync-vs-async metamorphic engine differential;
+* :mod:`repro.fuzz.shrink` -- a delta-debugging shrinker over specs: greedily
+  apply size-reducing / canonicalizing rewrites while the failure reproduces,
+  until no single rewrite still fails (1-minimal);
+* :mod:`repro.fuzz.explorer` -- for tiny instances, a bounded *exhaustive*
+  enumeration of scheduler interleavings (the strongest tier: not sampling
+  but model checking a prefix of the schedule space);
+* :mod:`repro.fuzz.corpus` -- minimized repro fixtures (``repro-fuzz-repro-v1``)
+  written under ``tests/fixtures/fuzz/`` and auto-replayed by a parametrized
+  regression test, so every bug the campaign ever found stays fixed;
+* :mod:`repro.fuzz.campaign` -- the ``repro fuzz`` loop tying it together,
+  deduplicating every execution through the :class:`~repro.store.RunStore`
+  (a repeat draw, or a shrink step that revisits a spec, costs one SQL lookup).
+"""
+
+from repro.fuzz.campaign import CampaignConfig, FuzzFinding, FuzzReport, run_campaign
+from repro.fuzz.corpus import (
+    FIXTURE_FORMAT,
+    default_corpus_dir,
+    fixture_entry,
+    load_fixtures,
+    replay_fixture,
+    write_fixture,
+)
+from repro.fuzz.explorer import ScriptedScheduler, explore_interleavings
+from repro.fuzz.oracles import Verdict, backend_differential, check_record, engine_differential
+from repro.fuzz.sampler import Trial, sample_trial
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CampaignConfig",
+    "FuzzFinding",
+    "FuzzReport",
+    "run_campaign",
+    "FIXTURE_FORMAT",
+    "default_corpus_dir",
+    "fixture_entry",
+    "load_fixtures",
+    "replay_fixture",
+    "write_fixture",
+    "ScriptedScheduler",
+    "explore_interleavings",
+    "Verdict",
+    "backend_differential",
+    "check_record",
+    "engine_differential",
+    "Trial",
+    "sample_trial",
+    "shrink",
+    "ShrinkResult",
+]

@@ -1,0 +1,116 @@
+"""Minimized repro fixtures: the campaign's permanent memory.
+
+Every bug the fuzzer pins ends up as one small JSON file -- format
+``repro-fuzz-repro-v1`` -- holding the minimized ``(algorithm, scenario)``
+pair, the failure kind it originally exhibited, and the canonical record
+bytes the *fixed* code produces for it.  ``tests/test_fuzz_corpus.py``
+auto-parametrizes over every fixture in ``tests/fixtures/fuzz/`` and asserts
+two things on replay:
+
+* the run's canonical record JSON equals ``expected_record`` byte for byte
+  (reverting the fix changes the bytes -> the test goes red), and
+* the record passes :func:`~repro.fuzz.oracles.check_record` (the bug stays
+  fixed under its own oracle, not just byte-pinned).
+
+Fixture filenames embed the failure kind, algorithm, and scenario digest, so
+a corpus directory is content-addressed and merge-friendly: two campaign
+shards that found the same minimal bug write the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fuzz.oracles import Verdict, check_record
+from repro.runner.artifacts import canonical_record_json
+from repro.runner.execute import RunRecord, run_scenario
+from repro.runner.scenario import ScenarioSpec
+
+__all__ = [
+    "FIXTURE_FORMAT",
+    "default_corpus_dir",
+    "fixture_entry",
+    "fixture_name",
+    "write_fixture",
+    "load_fixtures",
+    "replay_fixture",
+]
+
+FIXTURE_FORMAT = "repro-fuzz-repro-v1"
+
+
+def default_corpus_dir() -> str:
+    """The committed corpus replayed by the regression test (repo-relative)."""
+    return os.path.join("tests", "fixtures", "fuzz")
+
+
+def fixture_name(entry: Dict[str, Any]) -> str:
+    spec = ScenarioSpec.from_dict(entry["scenario"])
+    return f"{entry['kind']}-{entry['algorithm']}-{spec.digest()}.json"
+
+
+def fixture_entry(
+    algorithm: str,
+    spec: ScenarioSpec,
+    kind: str,
+    *,
+    notes: str = "",
+    found: Optional[Dict[str, int]] = None,
+    shrink: Optional[Dict[str, int]] = None,
+    record: Optional[RunRecord] = None,
+) -> Dict[str, Any]:
+    """Assemble a fixture dict (executing the scenario unless given its record)."""
+    if record is None:
+        record = run_scenario(algorithm, spec)
+    entry: Dict[str, Any] = {
+        "format": FIXTURE_FORMAT,
+        "algorithm": algorithm,
+        "scenario": spec.to_dict(),
+        "kind": kind,
+        "expected_record": json.loads(canonical_record_json(record)),
+    }
+    if notes:
+        entry["notes"] = notes
+    if found:
+        entry["found"] = dict(found)
+    if shrink:
+        entry["shrink"] = dict(shrink)
+    return entry
+
+
+def write_fixture(corpus_dir: str, entry: Dict[str, Any]) -> str:
+    """Write one fixture (idempotent: same minimal bug -> same file, same bytes)."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, fixture_name(entry))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_fixtures(corpus_dir: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """All ``(path, entry)`` fixtures under a corpus dir, sorted by filename."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    out = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path, encoding="utf-8") as fh:
+            entry = json.load(fh)
+        if entry.get("format") != FIXTURE_FORMAT:
+            raise ValueError(f"{path}: not a {FIXTURE_FORMAT} fixture")
+        out.append((path, entry))
+    return out
+
+
+def replay_fixture(entry: Dict[str, Any]) -> Tuple[RunRecord, Verdict, bool]:
+    """Re-run a fixture; returns ``(record, oracle verdict, bytes match)``."""
+    spec = ScenarioSpec.from_dict(entry["scenario"])
+    record = run_scenario(entry["algorithm"], spec)
+    expected = json.dumps(entry["expected_record"], sort_keys=True, separators=(",", ":"))
+    matches = canonical_record_json(record) == expected
+    return record, check_record(record), matches

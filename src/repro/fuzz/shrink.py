@@ -1,0 +1,187 @@
+"""Delta-debugging shrinker over :class:`~repro.runner.scenario.ScenarioSpec`.
+
+A spec is a pure value, so shrinking is just a search over rewrites: given a
+failing ``(algorithm, spec)`` and a predicate that re-checks the failure, the
+shrinker greedily applies the first size-reducing or canonicalizing rewrite
+that still fails, and repeats until no single rewrite does -- the classical
+1-minimal fixpoint of delta debugging (ddmin's subset phase specialised to a
+structured value instead of a flat list).
+
+Determinism is load-bearing: the rewrite order is fixed, the first failing
+candidate always wins, and the predicate itself must be deterministic (every
+run in this repo is).  Three different failing specs of the same underlying
+bug therefore funnel to the *same* minimal spec whenever the rewrites can
+reach it, which is what makes minimized repro fixtures stable artifacts.
+
+Every rewrite either strictly shrinks a well-founded size measure (nodes,
+agents, fault clauses, horizons) or moves a field to its canonical value
+(family ``line``, seed 0, round-robin, adjacency ports...) -- canonical moves
+are idempotent, so the loop terminates; a ``budget`` on predicate evaluations
+bounds the worst case anyway.  Specs already evaluated are memoized by digest
+(and, through the campaign's store-backed predicate, across whole campaigns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.runner.scenario import ScenarioSpec, build_graph
+
+__all__ = ["ShrinkResult", "shrink", "candidates"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    spec: ScenarioSpec
+    steps: int  # accepted rewrites (original -> minimal path length)
+    evaluations: int  # predicate calls spent
+    exhausted: bool  # True when the budget ran out before the fixpoint
+
+
+def _num_nodes(spec: ScenarioSpec) -> Optional[int]:
+    try:
+        return build_graph(spec).num_nodes
+    except ValueError:
+        return None
+
+
+def _shrunk_ints(value: int, floor: int) -> List[int]:
+    """Candidate reductions for an integer: jump to the floor, halve, decrement."""
+    out = []
+    for candidate in (floor, value // 2, value - 1):
+        if floor <= candidate < value and candidate not in out:
+            out.append(candidate)
+    return out
+
+
+def candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Single-rewrite neighbours of ``spec``, most aggressive first.
+
+    Invalid rewrites (a spec the runner would reject) are the *caller's*
+    problem by construction: every candidate yielded here already passed
+    ``ScenarioSpec`` validation, and node-count-dependent rewrites consult the
+    realized graph.  Ordering is fixed -- it is part of the determinism
+    contract.
+    """
+
+    def attempt(**changes) -> Optional[ScenarioSpec]:
+        try:
+            return replace(spec, **changes)
+        except ValueError:
+            return None
+
+    out: List[Optional[ScenarioSpec]] = []
+
+    # 1. Collapse the graph family to a line of the same size: the canonical
+    #    smallest-structure family (and the one whose n-rewrites below bite).
+    if spec.family != "line":
+        n = _num_nodes(spec)
+        if n is not None:
+            out.append(attempt(family="line", params={"n": n}))
+
+    # 2. Fewer nodes (families with an explicit n; k caps the floor).
+    n_param = spec.params.get("n")
+    if isinstance(n_param, int):
+        for smaller in _shrunk_ints(n_param, max(1, spec.k)):
+            out.append(attempt(params={**spec.params, "n": smaller}))
+
+    # 3. Fewer agents.
+    for smaller in _shrunk_ints(spec.k, 2 if spec.placement == "split" else 1):
+        out.append(attempt(k=smaller))
+
+    # 4. Collapse the placement axis.
+    if spec.placement == "split":
+        out.append(attempt(placement="rooted", placement_parts=1))
+        for smaller in _shrunk_ints(spec.placement_parts, 2):
+            out.append(attempt(placement_parts=smaller))
+    if spec.start_node != 0:
+        out.append(attempt(start_node=0))
+
+    # 5. Canonical port labels and schedule.
+    if spec.port_assignment != "adjacency":
+        out.append(attempt(port_assignment="adjacency"))
+    if spec.scheduler != "async":
+        out.append(attempt(scheduler="async", scheduler_params={}))
+        delay = spec.scheduler_params.get("delay_factor")
+        if isinstance(delay, int):  # smaller scheduler window, same discipline
+            for smaller in _shrunk_ints(delay, 1):
+                out.append(
+                    attempt(scheduler_params={**spec.scheduler_params, "delay_factor": smaller})
+                )
+    if spec.adversary != "round_robin":
+        out.append(attempt(adversary="round_robin", adversary_params={}))
+
+    # 6. Truncate the fault schedule: drop whole clauses, then make the
+    #    surviving probabilities deterministic (p=1.0) and the windows tiny.
+    faults: Dict = dict(spec.faults)
+    for key in ("crash", "freeze", "churn", "freeze_duration", "horizon"):
+        if key in faults:
+            out.append(attempt(faults={k: v for k, v in faults.items() if k != key}))
+    for key in ("crash", "freeze", "churn"):
+        prob = faults.get(key)
+        if prob is not None and prob != 1.0:
+            out.append(attempt(faults={**faults, key: 1.0}))
+    for key, floor in (("horizon", 1), ("freeze_duration", 1)):
+        value = faults.get(key)
+        if isinstance(value, int):
+            for smaller in _shrunk_ints(value, floor):
+                out.append(attempt(faults={**faults, key: smaller}))
+
+    # 7. Canonical seed, no trace, reference backend.
+    if spec.seed != 0:
+        out.append(attempt(seed=0))
+    if spec.trace:
+        out.append(attempt(trace=False))
+    if spec.backend != "reference":
+        out.append(attempt(backend="reference"))
+
+    for candidate in out:
+        if candidate is not None and candidate.key() != spec.key():
+            yield candidate
+
+
+def shrink(
+    spec: ScenarioSpec,
+    is_failing: Callable[[ScenarioSpec], bool],
+    *,
+    budget: int = 400,
+) -> ShrinkResult:
+    """Greedy 1-minimal shrink of a failing spec.
+
+    ``is_failing`` must return True for ``spec`` itself (the caller observed
+    the failure; the shrinker never re-checks the starting point) and must be
+    deterministic.  Exceptions from the predicate count as "does not fail"
+    (a rewrite that breaks the run differently is not the same bug).
+    """
+    current = spec
+    steps = 0
+    evaluations = 0
+    seen = {current.digest()}
+    exhausted = False
+    progress = True
+    while progress:
+        progress = False
+        for candidate in candidates(current):
+            digest = candidate.digest()
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if evaluations >= budget:
+                exhausted = True
+                break
+            evaluations += 1
+            try:
+                failing = bool(is_failing(candidate))
+            except Exception:  # noqa: BLE001 - different crash != same bug
+                failing = False
+            if failing:
+                current = candidate
+                steps += 1
+                progress = True
+                break
+        if exhausted:
+            break
+    return ShrinkResult(spec=current, steps=steps, evaluations=evaluations, exhausted=exhausted)

@@ -102,6 +102,9 @@ from repro.sim.faults import parse_faults
 
 __all__ = ["main", "build_parser"]
 
+#: Where committed minimized repro fixtures live (``repro fuzz --replay``).
+_DEFAULT_FUZZ_CORPUS = "tests/fixtures/fuzz"
+
 
 def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
     """Parse repeated ``--param name=value`` options (ints, floats, strings)."""
@@ -475,6 +478,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative speedup regression for --check (default 0.25)",
     )
 
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="continuous falsification: sample random scenarios, check them "
+        "(invariants + differentials), shrink failures to 1-minimal repros",
+    )
+    fuzz_p.add_argument("--trials", type=int, default=100, help="scenarios to sample")
+    fuzz_p.add_argument("--seed", type=int, default=0, help="campaign seed (trial i of seed s is a fixed scenario)")
+    fuzz_p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="RunStore for dedup: repeat draws and shrink re-evaluations "
+        "become cache hits (shards may share one store; WAL handles the "
+        "concurrent writers)",
+    )
+    fuzz_p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write minimized repro fixtures (repro-fuzz-repro-v1) here",
+    )
+    fuzz_p.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated registry names to fuzz (default: all)",
+    )
+    fuzz_p.add_argument("--max-nodes", type=int, default=12, help="graph-size ceiling for sampled worlds")
+    fuzz_p.add_argument("--max-agents", type=int, default=8, help="population ceiling for sampled worlds")
+    fuzz_p.add_argument("--shrink-budget", type=int, default=400, help="max predicate evaluations per shrink")
+    fuzz_p.add_argument("--no-shrink", action="store_true", help="report raw failing specs without minimizing")
+    fuzz_p.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="skip the backend and sync-vs-async differential oracles",
+    )
+    fuzz_p.add_argument(
+        "--no-explore",
+        action="store_true",
+        help="skip exhaustive scheduler-interleaving enumeration on tiny instances",
+    )
+    fuzz_p.add_argument("--explore-depth", type=int, default=4, help="scripted schedule prefix length")
+    fuzz_p.add_argument("--explore-budget", type=int, default=128, help="max interleavings per tiny instance")
+    fuzz_p.add_argument(
+        "--plant-bug",
+        action="store_true",
+        help="swap in a deliberately broken oracle (self-test: the campaign "
+        "must find and shrink it to the known minimal spec)",
+    )
+    fuzz_p.add_argument(
+        "--replay",
+        nargs="?",
+        const=_DEFAULT_FUZZ_CORPUS,
+        default=None,
+        metavar="DIR",
+        help="instead of fuzzing, replay every committed fixture in DIR "
+        f"(default {_DEFAULT_FUZZ_CORPUS}) and verify byte-identical, "
+        "oracle-clean records",
+    )
+    fuzz_p.add_argument("--progress", action="store_true", help="per-trial progress line on stderr")
+
     sub.add_parser("list", help="list registered algorithms and backends")
     return parser
 
@@ -576,9 +639,16 @@ class _ProgressLine:
     On a TTY the line redraws in place (carriage return); on a pipe each
     update is its own line so logs stay readable.  The ETA extrapolates from
     *executed* jobs only -- cache hits are effectively free, and counting them
-    would make the estimate collapse toward zero on warm sweeps.  Fault events
-    and invariant violations accumulate across records so a long faulty sweep
-    shows its injected-failure volume without waiting for the final summary.
+    would make the estimate collapse toward zero on warm sweeps.  When the
+    caller announces how many jobs will actually execute
+    (:meth:`expect_executed` -- the store path knows this from its plan), the
+    ETA covers only the remaining *executions*: a fully cached rerun reads
+    ``eta=0.0s`` from the first record on, instead of extrapolating from zero
+    executed jobs (the old line printed ``?`` all the way through a warm
+    sweep and could divide by zero the moment a remaining-hit estimate was
+    attempted).  Fault events and invariant violations accumulate across
+    records -- cached ones included, their findings are equally real -- so a
+    warm rerun reports the same ``faults=``/``viol=`` totals as the cold run.
     """
 
     def __init__(self, stream: Any = None) -> None:
@@ -588,8 +658,25 @@ class _ProgressLine:
         self._executed = 0
         self._faults = 0
         self._violations = 0
+        self._pending_total: Optional[int] = None
         self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
         self._last_width = 0
+
+    def expect_executed(self, pending_total: int) -> None:
+        """Announce how many of the sweep's jobs will execute (store plans)."""
+        self._pending_total = pending_total
+
+    def _eta_text(self, done: int, total: int) -> str:
+        if self._pending_total is not None:
+            remaining = max(0, self._pending_total - self._executed)
+        else:
+            remaining = total - done
+        if remaining == 0:
+            return "0.0s"
+        if not self._executed:
+            return "?"
+        eta = remaining * (time.monotonic() - self._start) / self._executed
+        return f"{eta:.1f}s"
 
     def __call__(self, done: int, total: int, record: Dict[str, Any], cached: bool = False) -> None:
         if cached:
@@ -598,15 +685,9 @@ class _ProgressLine:
             self._executed += 1
         self._faults += record.get("fault_events") or 0
         self._violations += record.get("invariant_violations") or 0
-        remaining = total - done
-        if self._executed:
-            eta = remaining * (time.monotonic() - self._start) / self._executed
-            eta_text = f"{eta:.1f}s"
-        else:
-            eta_text = "0.0s" if remaining == 0 else "?"
         line = (
             f"[{done}/{total}] hits={self._hits} faults={self._faults} "
-            f"viol={self._violations} eta={eta_text}"
+            f"viol={self._violations} eta={self._eta_text(done, total)}"
         )
         if self._tty:
             pad = " " * max(0, self._last_width - len(line))
@@ -683,6 +764,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             with RunStore(args.store) as store:
                 plan = plan_sweep(sweep, store)
                 hits, executed = plan.hits, plan.total - plan.hits
+                if progress_line is not None:
+                    progress_line.expect_executed(executed)
                 print(
                     f"store {args.store}: {hits}/{plan.total} cache hit(s), "
                     f"executing {executed} job(s)",
@@ -1010,6 +1093,88 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import CampaignConfig, load_fixtures, replay_fixture, run_campaign
+
+    if args.replay is not None:
+        fixtures = load_fixtures(args.replay)
+        if not fixtures:
+            print(f"no fuzz fixtures under {args.replay}")
+            return 0
+        bad = 0
+        for path, entry in fixtures:
+            record, verdict, matches = replay_fixture(entry)
+            problems = []
+            if not matches:
+                problems.append("record bytes diverged from expected_record")
+            if not verdict.ok:
+                problems.append(f"oracle failed ({verdict.kind}: {verdict.detail})")
+            status = "ok" if not problems else "FAIL " + "; ".join(problems)
+            print(f"{path}: {status}")
+            bad += bool(problems)
+        print(f"replayed {len(fixtures)} fixture(s), {bad} failing")
+        return 1 if bad else 0
+
+    algorithms = None
+    if args.algorithms:
+        algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+        for name in algorithms:
+            try:
+                get_algorithm(name)
+            except KeyError as exc:
+                # KeyError's str() is the repr of its message (extra quotes);
+                # re-raise as ValueError for the standard one-line error.
+                raise ValueError(exc.args[0]) from None
+    config = CampaignConfig(
+        trials=args.trials,
+        seed=args.seed,
+        store_path=args.store,
+        corpus_dir=args.corpus,
+        algorithms=algorithms,
+        max_nodes=args.max_nodes,
+        max_agents=args.max_agents,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        differential=not args.no_differential,
+        explore=not args.no_explore,
+        explore_depth=args.explore_depth,
+        explore_budget=args.explore_budget,
+        planted_bug=args.plant_bug,
+    )
+
+    def progress(index: int, total: int, kind: str) -> None:
+        print(f"[{index + 1}/{total}] {kind}", file=sys.stderr, flush=True)
+
+    report = run_campaign(config, progress=progress if args.progress else None)
+    print(
+        f"fuzz seed={config.seed}: {report.trials} trial(s), "
+        f"{report.executed} executed, {report.cache_hits} cache hit(s), "
+        f"{report.skipped} skipped, {report.differentials} differential(s), "
+        f"{report.explored_schedules} interleaving(s) explored"
+    )
+    if report.ok:
+        print("no failures found")
+        return 0
+    for finding in report.findings:
+        print()
+        print(
+            f"FALSIFIED trial {finding.trial}: {finding.algorithm} "
+            f"[{finding.verdict.kind}] {finding.verdict.detail}"
+        )
+        print(f"  scenario:  {finding.spec.key()}")
+        if finding.minimized is not None:
+            print(
+                f"  minimized: {finding.minimized.key()} "
+                f"({finding.shrink_steps} step(s), "
+                f"{finding.shrink_evaluations} evaluation(s))"
+            )
+        if finding.fixture_path:
+            print(f"  fixture:   {finding.fixture_path}")
+    print()
+    print(f"{len(report.findings)} failure(s) found")
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -1025,6 +1190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         return _cmd_list()
     except BrokenPipeError:
         # stdout piped into `head` etc.; exiting quietly is the convention.

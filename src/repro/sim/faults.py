@@ -152,9 +152,18 @@ class FaultSpec:
         if text in ("", "none", "off"):
             return cls()
         fields: Dict[str, Any] = {}
+        seen: set[str] = set()
         for clause in text.split(","):
             parts = clause.strip().split(":")
             name = parts[0].strip()
+            if name in seen:
+                # Last-wins would silently drop the earlier clause -- a typo'd
+                # profile like "crash:0.1,crash:0.9" must not fuzz half-blind.
+                raise ValueError(
+                    f"duplicate fault clause {name!r}: each of crash, freeze, "
+                    "churn, and horizon may appear at most once"
+                )
+            seen.add(name)
             if name == "crash" and len(parts) == 2:
                 fields["crash"] = _prob(clause, parts[1])
             elif name == "freeze" and len(parts) in (2, 3):
@@ -203,7 +212,7 @@ class FaultEvent:
     """One fault that actually fired during a run."""
 
     time: int
-    kind: str  # "crash" | "freeze" | "thaw" | "churn"
+    kind: str  # "crash" | "freeze" | "thaw" | "churn" | "churn_skipped"
     detail: str
 
 
@@ -288,6 +297,7 @@ class FaultInjector:
             "crash": 0,
             "freeze": 0,
             "churn": 0,
+            "churn_skipped": 0,
             "blocked": 0,
         }
         #: When True, every skipped cycle is kept as an ``(agent_id, time)``
@@ -402,6 +412,17 @@ class FaultInjector:
             if detail is not None:
                 self.counts["churn"] += 1
                 self.events.append(FaultEvent(time, "churn", detail))
+            else:
+                # The schedule fired but the world offered no legal rewiring
+                # (e.g. a 2-node graph: its one edge is a bridge and no edge is
+                # missing).  Record the skip instead of dropping the event, so
+                # the fault-event count stays a function of the schedule alone
+                # -- two engines replaying the same schedule must agree on it
+                # even when their graphs degenerate at different ticks.
+                self.counts["churn_skipped"] += 1
+                self.events.append(
+                    FaultEvent(time, "churn_skipped", "no legal rewiring; churn skipped")
+                )
 
     def blocked_cycle_agents(self, time: int) -> frozenset[int]:
         """Agents whose whole CCM cycle is suppressed at ``time``.
@@ -472,16 +493,28 @@ class FaultInjector:
     # ---------------------------------------------------------------- reports
     @property
     def total_events(self) -> int:
-        """World-level fault events (crashes + freezes + churn); suppressed
-        agent actions are reported separately as ``fault_blocked``."""
-        return self.counts["crash"] + self.counts["freeze"] + self.counts["churn"]
+        """World-level fault events (crashes + freezes + churn, including
+        skipped churn -- the schedule fired either way); suppressed agent
+        actions are reported separately as ``fault_blocked``."""
+        return (
+            self.counts["crash"]
+            + self.counts["freeze"]
+            + self.counts["churn"]
+            + self.counts["churn_skipped"]
+        )
 
     def metrics_extra(self) -> Dict[str, float]:
         """Counters folded into :class:`~repro.sim.metrics.RunMetrics` extras."""
-        return {
+        extras = {
             "fault_events": float(self.total_events),
             "fault_crash": float(self.counts["crash"]),
             "fault_freeze": float(self.counts["freeze"]),
             "fault_churn": float(self.counts["churn"]),
             "fault_blocked": float(self.counts["blocked"]),
         }
+        # Emitted only when a skip happened: degenerate worlds are the rare
+        # case, and an unconditional zero would change the bytes of every
+        # existing faulty record and store row.
+        if self.counts["churn_skipped"]:
+            extras["fault_churn_skipped"] = float(self.counts["churn_skipped"])
+        return extras

@@ -122,6 +122,13 @@ class RunStore:
             os.makedirs(parent, exist_ok=True)
         try:
             self._conn = sqlite3.connect(path)
+            # Concurrent-writer hygiene: WAL lets readers proceed while a
+            # writer commits (fuzz shards and sweep workers share one store),
+            # and the busy timeout turns "database is locked" races between
+            # two writers into a short wait instead of an exception.  WAL is
+            # a no-op for :memory: databases (sqlite reports "memory").
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA busy_timeout=10000")
             self._conn.executescript(_SCHEMA)
             self._check_schema_version()
             self._conn.commit()
@@ -411,6 +418,32 @@ class RunStore:
         if record is None:
             return None
         return record.trace
+
+    def has(self, fingerprint: str) -> bool:
+        """Membership test without decoding the record (the fuzz dedup path)."""
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return row is not None
+
+    def missing(self, fingerprints: Sequence[str]) -> List[str]:
+        """The subset of ``fingerprints`` not yet stored, in input order.
+
+        The fuzz campaign's corpus query: a repeated pass over the same seeded
+        scenario stream asks this first, so repeat draws execute zero jobs.
+        """
+        present: set = set()
+        batch = 500  # stay well under SQLite's bound-parameter limit
+        unique = list(dict.fromkeys(fingerprints))
+        for start in range(0, len(unique), batch):
+            chunk = unique[start : start + batch]
+            marks = ",".join("?" for _ in chunk)
+            for (fingerprint,) in self._conn.execute(
+                f"SELECT fingerprint FROM runs WHERE fingerprint IN ({marks})",
+                chunk,
+            ):
+                present.add(fingerprint)
+        return [f for f in fingerprints if f not in present]
 
     def count(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]

@@ -669,3 +669,92 @@ def test_sweep_progress_line_counts_faults(tmp_path, capsys):
     assert code == 0
     err = capsys.readouterr().err
     assert "faults=" in err and "viol=" in err
+
+
+def test_sweep_progress_cached_rerun_reports_zero_eta_and_same_counters(tmp_path, capsys):
+    spec = {
+        "name": "cli-warm-progress",
+        "algorithms": ["rooted_sync"],
+        "graphs": [{"family": "complete", "params": {"n": 10}}],
+        "ks": [6, 8],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec))
+    store = str(tmp_path / "runs.sqlite")
+    argv = ["sweep", "--spec", str(spec_path), "--store", store, "--progress",
+            "--quiet", "--faults", "churn:0.5", "--check-invariants",
+            "--out", str(tmp_path / "x.json")]
+
+    assert main(argv) == 0
+    cold_lines = [l for l in capsys.readouterr().err.splitlines() if l.startswith("[")]
+    assert cold_lines and cold_lines[-1].startswith("[2/2] hits=0 ")
+
+    assert main(argv + ["--resume"]) == 0
+    warm_lines = [l for l in capsys.readouterr().err.splitlines() if l.startswith("[")]
+    # Every record is a hit, the ETA is 0.0s from the first line on (not "?"),
+    # and the fault/violation totals match the cold run (cached findings count).
+    assert len(warm_lines) == 2
+    for i, line in enumerate(warm_lines):
+        assert line.startswith(f"[{i + 1}/2] hits={i + 1} ")
+        assert line.endswith("eta=0.0s")
+    cold_counters = cold_lines[-1].split("] ")[1].rsplit(" eta=", 1)[0]
+    warm_counters = warm_lines[-1].split("] ")[1].rsplit(" eta=", 1)[0]
+    assert cold_counters.replace("hits=0", "") == warm_counters.replace("hits=2", "")
+
+
+# --------------------------------------------------------------------- fuzz
+def test_fuzz_campaign_cli_second_pass_executes_zero_jobs(tmp_path, capsys):
+    store = str(tmp_path / "fuzz.sqlite")
+    argv = ["fuzz", "--trials", "4", "--seed", "21", "--store", store,
+            "--no-differential", "--no-explore"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "fuzz seed=21: 4 trial(s)" in cold and "no failures found" in cold
+    assert "0 executed" not in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed" in warm and "no failures found" in warm
+
+
+def test_fuzz_planted_bug_cli_reports_falsified_and_writes_fixture(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    assert main(["fuzz", "--trials", "40", "--seed", "7", "--plant-bug",
+                 "--store", str(tmp_path / "fuzz.sqlite"),
+                 "--corpus", str(corpus),
+                 "--no-differential", "--no-explore"]) == 1
+    out = capsys.readouterr().out
+    assert "FALSIFIED" in out and "minimized:" in out and "fixture:" in out
+    assert list(corpus.glob("invariant-*.json"))
+
+
+def test_fuzz_replay_cli_passes_good_fixture_and_fails_tampered_one(tmp_path, capsys):
+    from repro.fuzz import fixture_entry, write_fixture
+    from repro.runner.scenario import ScenarioSpec
+
+    corpus = str(tmp_path / "corpus")
+    spec = ScenarioSpec(
+        family="line", params={"n": 2}, k=2,
+        faults={"churn": 1.0, "horizon": 8}, check_invariants=True,
+    )
+    entry = fixture_entry("rooted_sync", spec, "churn_skip")
+    path = write_fixture(corpus, entry)
+    assert main(["fuzz", "--replay", corpus]) == 0
+    out = capsys.readouterr().out
+    assert f"{path}: ok" in out and "replayed 1 fixture(s), 0 failing" in out
+
+    entry["expected_record"]["time"] = 424242
+    write_fixture(corpus, entry)
+    assert main(["fuzz", "--replay", corpus]) == 1
+    out = capsys.readouterr().out
+    assert "record bytes diverged" in out and "1 failing" in out
+
+
+def test_fuzz_replay_cli_on_empty_corpus_is_a_clean_no_op(tmp_path, capsys):
+    assert main(["fuzz", "--replay", str(tmp_path / "nothing")]) == 0
+    assert "no fuzz fixtures" in capsys.readouterr().out
+
+
+def test_fuzz_rejects_unknown_algorithm_filter(capsys):
+    assert main(["fuzz", "--trials", "1", "--algorithms", "nope"]) == 2
+    assert "nope" in capsys.readouterr().err

@@ -59,6 +59,31 @@ def test_fault_spec_rejects_unknown_dict_keys():
         FaultSpec.from_dict({"crsh": 0.1})
 
 
+@pytest.mark.parametrize(
+    "text",
+    [
+        "crash:0.1,crash:0.9",          # same clause twice: last-wins is a trap
+        "freeze:0.2:40,freeze:0.2:40",  # even an identical repeat is a typo
+        "horizon:8,churn:0.1,horizon:9",
+    ],
+)
+def test_fault_spec_rejects_duplicate_clauses(text):
+    with pytest.raises(ValueError, match="duplicate fault clause"):
+        FaultSpec.from_string(text)
+
+
+def test_boundary_probabilities_round_trip_exactly():
+    """p=0 and p=1 are exact floats: parse -> dict -> parse must be identity."""
+    spec = FaultSpec.from_string("crash:0,freeze:1,churn:1.0")
+    assert spec.crash == 0.0 and spec.freeze == 1.0 and spec.churn == 1.0
+    assert not spec.to_dict().get("crash")  # 0.0 is the default: omitted
+    assert spec.to_dict() == {"freeze": 1.0, "churn": 1.0}
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+    assert parse_faults("churn:1") == {"churn": 1.0}
+    assert parse_faults("crash:0") == {}  # exactly the fault-free profile
+    assert not FaultSpec.from_string("crash:0,churn:0").is_active
+
+
 # --------------------------------------------------------------- FaultInjector
 def test_injector_schedule_is_deterministic():
     spec = FaultSpec(crash=0.5, freeze=0.5, churn=0.05, horizon=100)
@@ -130,6 +155,61 @@ def test_churn_event_rewires_but_preserves_contract():
     assert injector.counts["churn"] == 3
     graph.validate()
     assert graph.num_nodes == 10
+
+
+def test_churn_skip_recorded_on_degenerate_world():
+    """K2 offers no legal rewiring (its one edge is a bridge, no edge is
+    missing): the scheduled event must be recorded as a skip, not dropped,
+    so the fault-event count stays a function of the schedule alone."""
+    graph = generators.line(2)
+    injector = FaultInjector(FaultSpec(churn=1.0, horizon=3), [1], seed=0)
+    assert injector.churn_times == [0, 1, 2]
+
+    class World:
+        pass
+
+    world = World()
+    world.graph = graph
+    injector.begin_tick(2, world)
+    assert injector.counts["churn"] == 0
+    assert injector.counts["churn_skipped"] == 3
+    assert [e.kind for e in injector.events] == ["churn_skipped"] * 3
+    assert injector.total_events == 3
+    extras = injector.metrics_extra()
+    assert extras["fault_events"] == 3.0
+    assert extras["fault_churn"] == 0.0
+    assert extras["fault_churn_skipped"] == 3.0
+    assert graph.churn_count == 0
+    graph.validate()
+
+
+def test_churn_skip_metric_absent_when_no_skip_happened():
+    # Byte-stability of existing artifacts: the extra key only appears when a
+    # skip actually occurred.
+    injector = FaultInjector(FaultSpec(churn=1.0, horizon=2), [1], seed=3)
+
+    class World:
+        pass
+
+    world = World()
+    world.graph = generators.ring(10)
+    injector.begin_tick(1, world)
+    assert injector.counts["churn"] == 2
+    assert "fault_churn_skipped" not in injector.metrics_extra()
+
+
+def test_run_scenario_counts_skipped_churn_as_fault_events():
+    """End to end: churn on K2 used to vanish from the record entirely."""
+    spec = ScenarioSpec(
+        family="line",
+        params={"n": 2},
+        k=2,
+        faults={"churn": 1.0, "horizon": 8},
+        check_invariants=True,
+    )
+    record = run_scenario("rooted_sync", spec)
+    assert record.status == "ok"
+    assert record.fault_events is not None and record.fault_events > 0
 
 
 # ----------------------------------------------------------- runner threading

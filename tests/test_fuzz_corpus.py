@@ -1,0 +1,46 @@
+"""Replay every committed fuzz fixture (``tests/fixtures/fuzz/``).
+
+Each fixture is a bug the campaign once pinned, shrunk to its minimal
+scenario and frozen as the canonical record bytes the *fixed* code produces.
+Replaying asserts two things:
+
+* **byte identity** -- the run's canonical record JSON equals the fixture's
+  ``expected_record`` byte for byte, so reverting the fix (or any silent
+  behaviour change on the pinned scenario) turns the test red; and
+* **oracle cleanliness** -- the record still passes
+  :func:`repro.fuzz.oracles.check_record`, so the bug stays *fixed*, not
+  merely *different*.
+
+New fixtures written by ``repro fuzz`` are picked up automatically: the
+parametrization walks the corpus directory at collection time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz import FIXTURE_FORMAT, load_fixtures, replay_fixture
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "fuzz")
+
+FIXTURES = load_fixtures(CORPUS_DIR)
+
+
+def test_committed_corpus_is_not_empty():
+    assert FIXTURES, f"expected committed fuzz fixtures under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path,entry", FIXTURES, ids=[os.path.basename(p) for p, _ in FIXTURES]
+)
+def test_fixture_replays_byte_identical_and_oracle_clean(path, entry):
+    assert entry["format"] == FIXTURE_FORMAT
+    record, verdict, matches = replay_fixture(entry)
+    assert matches, (
+        f"{path}: record bytes diverged from expected_record -- either the "
+        "pinned bug regressed or behaviour on this scenario changed; if the "
+        "change is deliberate, regenerate the fixture and say why"
+    )
+    assert verdict.ok, f"{path}: oracle failed ({verdict.kind}: {verdict.detail})"

@@ -241,6 +241,42 @@ def test_load_side_rejects_conflicting_duplicates(tmp_path):
         load_side(str(path))
 
 
+# -------------------------------------------------------------- concurrency
+def test_store_runs_in_wal_mode_with_busy_timeout(store):
+    mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+    assert mode == "wal"
+    timeout = store._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+    assert timeout >= 1000
+
+
+def test_two_concurrent_writers_interleave_without_locking_errors(tmp_path):
+    """WAL + busy_timeout: two open connections writing turn-by-turn (the
+    fuzz campaign and a sweep sharing one store) must both succeed."""
+    path = str(tmp_path / "shared.sqlite")
+    records = run_sweep(small_sweep())
+    fingerprints = [
+        run_fingerprint(r.algorithm, ScenarioSpec.from_dict(r.scenario)) for r in records
+    ]
+    with RunStore(path) as writer_a, RunStore(path, create=False) as writer_b:
+        for i, (fingerprint, record) in enumerate(zip(fingerprints, records)):
+            writer = writer_a if i % 2 == 0 else writer_b
+            writer.put(fingerprint, record)
+        assert writer_a.count() == writer_b.count() == len(records)
+        for fingerprint, record in zip(fingerprints, records):
+            assert writer_a.get(fingerprint).to_dict() == record.to_dict()
+
+
+def test_has_and_missing_partition_fingerprints(store):
+    records = run_sweep(small_sweep(), store=store)
+    known = run_fingerprint(
+        records[0].algorithm, ScenarioSpec.from_dict(records[0].scenario)
+    )
+    unknown = "f" * 64
+    assert store.has(known) and not store.has(unknown)
+    assert store.missing([known, unknown, known]) == [unknown]
+    assert store.missing([]) == []
+
+
 # ------------------------------------------------------------------- errors
 def test_opening_a_foreign_file_raises_store_error(tmp_path):
     path = tmp_path / "not-a-store.sqlite"
