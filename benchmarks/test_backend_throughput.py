@@ -14,9 +14,21 @@ guard, and this lock must never measure different things.
 
 from __future__ import annotations
 
+import random
+import time
+
 import pytest
 
-from repro.runner.bench import WORKLOADS, check_report, render, run_bench
+from repro.graph.port_graph import PortLabeledGraph
+from repro.runner.bench import (
+    QUICK_NODES,
+    WORKLOADS,
+    bench_scenario,
+    check_report,
+    render,
+    run_bench,
+)
+from repro.runner.scenario import build_graph
 from repro.sim.backends import backend_available
 
 from benchmarks.conftest import report
@@ -30,6 +42,12 @@ pytestmark = pytest.mark.skipif(
 #: while still catching a vectorization regression of any real size.
 MIN_SPEEDUP = 20.0
 FULL_NODES = 100_000
+
+#: The newly batched DFS/probe driver phases (scatter walks through
+#: ``run_scatter``, probe queries through ``run_probe_round``) carry a lower
+#: bar: their reference legs do less Python per step than a full walk round,
+#: so the headroom is structurally smaller.
+MIN_BATCHED_SPEEDUP = 10.0
 
 #: The quick tier reuses CI's bench-guard configuration: smaller world,
 #: shorter budget, and a lower bar (per-call overheads weigh more).
@@ -65,6 +83,63 @@ def test_vectorized_dispersion_workload_also_scales(full_report, record_rows):
         ("backend-throughput", f"dispersion vectorized speedup = {speedup:.1f}x")
     )
     assert speedup >= MIN_SPEEDUP
+
+
+def test_vectorized_scatter_phase_hits_10x_on_1e5_nodes(full_report, record_rows):
+    """The DFS drivers' scatter-walk phase (run_scatter via step_path)."""
+    speedup = full_report["tiers"]["full"]["speedups"]["scatter"]["vectorized"]
+    record_rows.append(
+        ("backend-throughput", f"scatter vectorized speedup = {speedup:.1f}x")
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"vectorized scatter speedup {speedup:.1f}x fell below the "
+        f"{MIN_BATCHED_SPEEDUP:.0f}x acceptance bar"
+    )
+
+
+def test_vectorized_probe_phase_hits_10x_on_1e5_nodes(full_report, record_rows):
+    """The probe phases' settled-presence queries (run_probe_round)."""
+    speedup = full_report["tiers"]["full"]["speedups"]["probe"]["vectorized"]
+    record_rows.append(
+        ("backend-throughput", f"probe vectorized speedup = {speedup:.1f}x")
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"vectorized probe speedup {speedup:.1f}x fell below the "
+        f"{MIN_BATCHED_SPEEDUP:.0f}x acceptance bar"
+    )
+
+
+def test_incremental_rewire_beats_rebuild_on_churn_heavy_world(record_rows):
+    """Churn micro-benchmark: remove+re-add churn on the quick-tier grid must
+    run far faster through the incremental ``rewire`` (patch only renumbered
+    rows) than through the full-rebuild oracle it replaced -- the win that
+    keeps churn-heavy fault profiles usable at 10^5+ nodes."""
+    graph = build_graph(bench_scenario(QUICK_NODES, 1))
+    oracle = PortLabeledGraph([graph.neighbors(v) for v in graph.nodes()])
+    rng = random.Random(7)
+    edges = list(graph.edges())
+    # Remove+re-add the same pair: a full renumber of both endpoint rows (the
+    # expensive case) while keeping the graph byte-identical across ops, so
+    # both legs face the same work every iteration.
+    ops = [edges[rng.randrange(len(edges))] for _ in range(12)]
+
+    def leg(g, method) -> float:
+        start = time.perf_counter()
+        for edge in ops:
+            method(remove=edge, add=edge)
+        return time.perf_counter() - start
+
+    incremental_s = leg(graph, graph.rewire)
+    rebuild_s = leg(oracle, oracle._rewire_via_rebuild)
+    assert graph.churn_count == oracle.churn_count == len(ops)
+    ratio = rebuild_s / incremental_s
+    record_rows.append(
+        ("backend-throughput", f"incremental rewire speedup = {ratio:.1f}x")
+    )
+    assert ratio >= 25.0, (
+        f"incremental rewire only {ratio:.1f}x faster than the rebuild oracle "
+        f"({incremental_s:.4f}s vs {rebuild_s:.4f}s over {len(ops)} churn ops)"
+    )
 
 
 def test_full_report_matches_committed_baseline_schema(full_report, tmp_path):

@@ -60,6 +60,7 @@ class Agent:
         "treelabel",
         "memory",
         "unsettle_count",
+        "_observer",
     )
 
     def __init__(self, agent_id: int, start_node: int, memory_model: MemoryModel) -> None:
@@ -76,6 +77,10 @@ class Agent:
         #: invariant checker uses this to tell legitimate settled-count drops
         #: from state corruption.
         self.unsettle_count = 0
+        #: Settled-index hook of the bound kernel backend (None when the
+        #: backend keeps no index); set by the backend on bind, never by
+        #: algorithm code.  Agents stay observable-state-identical either way.
+        self._observer = None
         self.memory = AgentMemory(memory_model)
         # Every agent persistently stores its own ID (the Ω(log k) lower bound).
         self.memory.write("ID", agent_id, FieldKind.ID)
@@ -98,6 +103,8 @@ class Agent:
         (``None``/⊥ for a DFS root), stored persistently as the paper's
         ``α(w).parent``.
         """
+        if self._observer is not None and self.settled:
+            self._observer.notify_unsettle(self)  # re-settling moves the index entry
         self.settled = True
         self.home = node
         self.role = AgentRole.SETTLER
@@ -106,9 +113,13 @@ class Agent:
         if treelabel is not None:
             self.treelabel = treelabel
             self.memory.write("treelabel", treelabel, FieldKind.LABEL)
+        if self._observer is not None:
+            self._observer.notify_settle(self)
 
     def unsettle(self) -> None:
         """Turn a settled agent back into an explorer (Backtrack_Move, subsumption)."""
+        if self._observer is not None and self.settled:
+            self._observer.notify_unsettle(self)  # needs the pre-reset home
         self.settled = False
         self.home = None
         self.role = AgentRole.EXPLORER

@@ -36,10 +36,7 @@ __all__ = ["async_probe", "guest_see_off"]
 
 def _resident_settler(ctx, node: int) -> Optional[Agent]:
     """The settler whose home is ``node`` and who is currently there."""
-    for agent in ctx.engine.kernel.agents_at(node):
-        if agent.settled and agent.home == node:
-            return agent
-    return None
+    return ctx.engine.kernel.home_settler_at(node)
 
 
 def _prober_program(ctx, w: int, port: int, prober: Agent, recruited: List[Agent]):

@@ -147,7 +147,7 @@ class GeneralAsyncDispersion:
         return min(pool, key=lambda a: a.agent_id) if pool else None
 
     def _free_node(self, node: int) -> bool:
-        return not any(a.settled and a.home == node for a in self.engine.kernel.agents_at(node))
+        return not self.engine.kernel.has_home_settler(node)
 
     def _path_to_nearest_free(self, start: int) -> Optional[List[int]]:
         if self._free_node(start):

@@ -189,7 +189,7 @@ class GeneralSyncDispersion:
 
     def _free_node(self, node: int) -> bool:
         """A node is free when no settled agent calls it home."""
-        return not any(a.settled and a.home == node for a in self.engine.kernel.agents_at(node))
+        return not self.engine.kernel.has_home_settler(node)
 
     def _path_to_nearest_free(self, start: int) -> Optional[List[int]]:
         """BFS (simulator-side pathfinding, see DESIGN.md §3) to the closest free
@@ -243,19 +243,14 @@ class GeneralSyncDispersion:
             path = self._path_to_nearest_free(head)
             if path is None:
                 raise RuntimeError("no free node left although agents remain unsettled")
-            current = head
-            for port in path:
-                # Re-filter per step: a walker whose move was fault-dropped is
-                # no longer on ``current``, and feeding it the rest of the path
-                # would cross edges relative to the wrong node.  It falls out
-                # of the pack and is retried on a later iteration (the ASYNC
-                # engine instead *defers* the dropped Move; both converge).
-                moves = {
-                    a.agent_id: port for a in walkers if a.position == current
-                }
-                self.engine.step(moves)
-                current = self.graph.neighbor(current, port)
-                self.metrics.bump("scatter_moves")
+            # One backend batch call walks the pack down the whole path.  A
+            # walker whose move was fault-dropped is no longer on the path
+            # head, so it falls out of the pack and is retried on a later
+            # iteration (the ASYNC engine instead *defers* the dropped Move;
+            # both converge).
+            current = self.engine.step_path(
+                [a.agent_id for a in walkers], head, path, counter="scatter_moves"
+            )
             # An agent that froze mid-walk fell out of the pack; only agents
             # that actually completed the walk (and can execute a settle cycle
             # right now) are settlement candidates.  Stragglers are retried on

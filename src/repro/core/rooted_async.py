@@ -152,10 +152,7 @@ class RootedAsyncDispersion:
     # --------------------------------------------------------------- helpers
     def settler_at(self, node: int) -> Optional[Agent]:
         """The settler whose home is ``node`` and who is currently there."""
-        for agent in self.engine.kernel.agents_at(node):
-            if agent.settled and agent.home == node:
-                return agent
-        return None
+        return self.engine.kernel.home_settler_at(node)
 
     def _settle_smallest_at(self, node: int, parent_port: Optional[int]) -> Agent:
         # ``agents_at`` is the fault-filtered Communicate query, so a crashed

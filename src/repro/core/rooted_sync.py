@@ -387,11 +387,7 @@ class RootedSyncDispersion:
         w = self.graph.neighbor(pw, port_pw_to_w)
         # Leader walks to w ...
         self.tick({self.leader.agent_id: port_pw_to_w})
-        settler = None
-        for agent in self.engine.kernel.agents_at(w):
-            if agent.settled and agent.home == w:
-                settler = agent
-                break
+        settler = self.engine.kernel.home_settler_at(w)
         if settler is None:
             raise AssertionError(f"expected a settler at leaf node {w}")
         settler.unsettle()
@@ -506,9 +502,8 @@ class RootedSyncDispersion:
             # A covered node is dropped only when an agent has *settled at* it
             # (home == here); another oscillator merely passing through must not
             # be mistaken for a settler of this node.
-            other_settled = any(
-                a.settled and a.home == here and a.agent_id != osc.agent.agent_id
-                for a in self.engine.kernel.agents_at(here)
+            other_settled = self.engine.kernel.has_home_settler(
+                here, osc.agent.agent_id
             )
             osc.after_step(other_settled)
 

@@ -63,15 +63,34 @@ def sync_probe(ctx, w: int) -> Optional[int]:
             out_moves[agent.agent_id] = port
 
         ctx.tick(out_moves)  # all assigned seekers cross simultaneously
+        # All met-checks of a round go through the backend's batched probe
+        # primitive (one call per round instead of one co-location scan per
+        # seeker); each answer is "did my seeker meet a settled agent other
+        # than itself at its target".
+        kernel = ctx.engine.kernel
+        first = kernel.run_probe_round(
+            [target for _agent, _port, target in assigned],
+            [agent.agent_id for agent, _port, _target in assigned],
+        )
         met: Dict[int, bool] = {
-            agent.agent_id: _settled_present(ctx, target, agent)
-            for agent, _port, target in assigned
+            agent.agent_id: hit
+            for (agent, _port, _target), hit in zip(assigned, first)
         }
         for _ in range(ctx.wait_rounds):
             ctx.tick({})
-            for agent, _port, target in assigned:
-                if not met[agent.agent_id] and _settled_present(ctx, target, agent):
-                    met[agent.agent_id] = True
+            pending = [
+                (agent, target)
+                for agent, _port, target in assigned
+                if not met[agent.agent_id]
+            ]
+            if pending:
+                hits = kernel.run_probe_round(
+                    [target for _agent, target in pending],
+                    [agent.agent_id for agent, _target in pending],
+                )
+                for (agent, _target), hit in zip(pending, hits):
+                    if hit:
+                        met[agent.agent_id] = True
         back_moves = {
             agent.agent_id: graph.reverse_port(w, port) for agent, port, _target in assigned
         }
@@ -89,14 +108,6 @@ def sync_probe(ctx, w: int) -> Optional[int]:
             return found
         checked += batch
     return None
-
-
-def _settled_present(ctx, node: int, probing_agent: Agent) -> bool:
-    """True when a settled agent (other than the prober) is at ``node``."""
-    for other in ctx.engine.kernel.agents_at(node):
-        if other.agent_id != probing_agent.agent_id and other.settled:
-            return True
-    return False
 
 
 def _verify_classification(ctx, w: int, assigned, met) -> None:

@@ -468,6 +468,159 @@ class PortLabeledGraph:
         simple and connected or ``ValueError`` is raised and nothing changes.
         ``ASYNC_SAFE`` assignments are *not* re-repaired: churn is adversarial,
         so a rewiring may legally break the Section 8.2 constraint.
+
+        The update is incremental: only the rows of the (at most four) endpoint
+        nodes are renumbered and the flat arrays are re-assembled from slices
+        of the old ones, so a churn event costs O(n) C-speed copying instead of
+        the full O(n + m) Python rebuild of :meth:`_install_orders` (kept as
+        :meth:`_rewire_via_rebuild`, the differential oracle).  The old array
+        objects are left intact -- consumers holding zero-copy views (the
+        vectorized backend) keep valid buffers until they observe
+        :attr:`churn_count` and re-view.
+        """
+        if remove is None and add is None:
+            return
+        n = self._n
+        n2p = self._neighbor_to_port
+        if remove is not None:
+            u, v = remove
+            if not (0 <= u < n and 0 <= v < n) or v not in n2p[u]:
+                raise ValueError(f"cannot remove nonexistent edge {remove}")
+        if add is not None:
+            a, b = add
+            # Re-adding the edge being removed this same event is legal (it
+            # only renumbers its ports); any other existing edge is rejected.
+            readded = remove is not None and {a, b} == {remove[0], remove[1]}
+            if not (0 <= a < n and 0 <= b < n) or a == b:
+                raise ValueError(f"cannot add invalid edge {add}")
+            if not readded and b in n2p[a]:
+                raise ValueError(f"cannot add existing edge {add}")
+        if remove is not None and not self._connected_after(remove, add):
+            raise ValueError(f"rewire -{remove} +{add} would disconnect the graph")
+
+        # New neighbor rows for the affected endpoints only.  Removal shifts
+        # the higher ports down; an added edge takes the new highest port.
+        affected: Dict[int, List[int]] = {}
+
+        def row(x: int) -> List[int]:
+            if x not in affected:
+                affected[x] = self.neighbors(x)
+            return affected[x]
+
+        if remove is not None:
+            u, v = remove
+            row(u).remove(v)
+            row(v).remove(u)
+        if add is not None:
+            a, b = add
+            row(a).append(b)
+            row(b).append(a)
+        new_maps = {
+            x: {y: p + 1 for p, y in enumerate(nbrs)} for x, nbrs in affected.items()
+        }
+
+        def port_at(y: int, x: int) -> int:
+            m = new_maps.get(y)
+            return m[x] if m is not None else n2p[y][x]
+
+        # Re-assemble the flat arrays: untouched spans are copied wholesale,
+        # affected rows are spliced in renumbered.
+        old_off = self._offsets
+        old_nbr = self._flat_neighbor
+        old_rev = self._flat_reverse
+        marks = sorted(affected)
+        new_nbr = array("l")
+        new_rev = array("l")
+        prev = 0
+        for x in marks:
+            start = old_off[x]
+            new_nbr += old_nbr[prev:start]
+            new_rev += old_rev[prev:start]
+            nbrs = affected[x]
+            new_nbr += array("l", nbrs)
+            new_rev += array("l", [port_at(y, x) for y in nbrs])
+            prev = old_off[x + 1]
+        new_nbr += old_nbr[prev:]
+        new_rev += old_rev[prev:]
+
+        # Offsets shift only between the first and last affected node (and past
+        # the last one when the edge count changes).
+        new_off = array("l", old_off)
+        delta = 0
+        prev_mark = 0
+        for x in marks:
+            if delta:
+                for i in range(prev_mark + 1, x + 1):
+                    new_off[i] += delta
+            delta += len(affected[x]) - self._degrees[x]
+            prev_mark = x
+        if delta:
+            for i in range(prev_mark + 1, n + 1):
+                new_off[i] += delta
+
+        # An unaffected neighbor w of an affected node x stores p_x(w) in its
+        # reverse row; patch the entries where that port was renumbered.
+        for x in marks:
+            old_map = n2p[x]
+            for w, p_new in new_maps[x].items():
+                if w in affected or old_map[w] == p_new:
+                    continue
+                new_rev[new_off[w] + n2p[w][x] - 1] = p_new
+
+        for x, nbrs in affected.items():
+            self._degrees[x] = len(nbrs)
+            n2p[x] = new_maps[x]
+        self._m += (0 if add is None else 1) - (0 if remove is None else 1)
+        self._offsets = new_off
+        self._flat_neighbor = new_nbr
+        self._flat_reverse = new_rev
+        self._churn_count += 1
+
+    def _connected_after(
+        self, remove: Tuple[int, int], add: Optional[Tuple[int, int]]
+    ) -> bool:
+        """Connectivity of the rewired graph, checked *before* mutating.
+
+        Removing one edge from a connected graph leaves at most two
+        components, so a BFS from one endpoint that avoids the removed edge
+        either reaches the other endpoint early (still connected) or halts
+        with exactly one side of the cut -- in which case the insertion
+        reconnects iff it crosses that cut.
+        """
+        u, v = remove
+        seen = bytearray(self._n)
+        seen[u] = 1
+        queue = [u]
+        head = 0
+        offsets = self._offsets
+        flat = self._flat_neighbor
+        while head < len(queue):
+            x = queue[head]
+            head += 1
+            for y in flat[offsets[x] : offsets[x + 1]]:
+                if x == u and y == v:
+                    continue  # the edge being removed
+                if y == v:
+                    return True
+                if not seen[y]:
+                    seen[y] = 1
+                    queue.append(y)
+        if add is None:
+            return False
+        a, b = add
+        return seen[a] != seen[b]
+
+    def _rewire_via_rebuild(
+        self,
+        remove: Optional[Tuple[int, int]] = None,
+        add: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """The pre-incremental :meth:`rewire`: full structure rebuild.
+
+        Kept as the differential oracle for the incremental path (tests
+        compare complete internal state after random churn sequences) and as
+        the baseline leg of the churn micro-benchmark in
+        ``benchmarks/test_backend_throughput.py``.
         """
         if remove is None and add is None:
             return

@@ -1,9 +1,9 @@
 """``repro bench``: kernel steps-per-second per backend, as a committed report.
 
-The bench answers one question per (workload, backend) pair: how many edge
-crossings per wall-clock second does the kernel's batch-stepping tier sustain
-on a large world?  Two workloads cover the regimes the ROADMAP's north star
-cares about:
+The bench answers one question per (workload, backend) pair: how many kernel
+steps per wall-clock second does the batch-stepping tier sustain on a large
+world?  Four workloads cover the regimes the ROADMAP's north star cares
+about:
 
 ``random_walk``
     Pure movement -- every agent crosses one uniformly random edge per round.
@@ -12,24 +12,45 @@ cares about:
     The random-walk scattering heuristic: walk plus the min-id
     settle-on-empty-node rule each round, the interactive-exploration
     workload.
+``scatter``
+    The DFS drivers' scatter-walk phase: the whole population follows one
+    precomputed port path through :meth:`SyncEngine.step_path` (the
+    :meth:`KernelBackend.run_scatter` primitive).  One step = one agent
+    crossing one edge.
+``probe``
+    The probe phase's settled-presence queries: every node of a fully
+    settled world is queried once per round through
+    :meth:`ExecutionKernel.run_probe_round`.  One step = one answered
+    query (no rounds advance).
 
 Reports are schema-versioned JSON (:data:`BENCH_FORMAT`) mapping
 nodes/agents/workload/backend to steps-per-second, with cross-backend
-speedup ratios precomputed.  Each report carries one or two **tiers**:
+speedup ratios precomputed.  Each report carries named **tiers**:
 
 ``full``
     The headline measurement (10^5 nodes, 1s budget) -- the perf-trajectory
     number PR-over-PR diffs care about.
 ``quick``
     A small/short configuration CI can afford per push.
+``scale-N``
+    One tier per ``--nodes N`` value: the scale axis (10^4 .. 10^6 nodes).
+    At sizes >= :data:`SHORT_HORIZON_NODES` the reference legs switch to a
+    **short horizon** (no warm-up, one-round chunks, at most
+    :data:`SHORT_HORIZON_CALLS` calls) so a 10^6-node world stays measurable:
+    a single reference round there costs seconds, so amortized chunk growth
+    would blow any budget.  Short rows carry ``"short_horizon": true`` --
+    their per-call overhead is not amortized, so treat their ratios as
+    indicative, not gate-grade.
 
-A default ``repro bench`` run measures *both* tiers so the committed baseline
-(``benchmarks/BENCH_kernel.json``) contains quick-tier numbers for CI to gate
-against like-for-like; ``--quick`` measures only the quick tier.  The
-``bench-guard`` job re-measures quick and gates on the **speedup ratio** per
-workload of the common tier(s), not on absolute steps/s -- ratios transfer
-across machines, absolute numbers do not (they are still recorded, so the
-perf trajectory stays visible PR over PR).
+A default ``repro bench`` run measures the ``full`` and ``quick`` tiers so
+the committed baseline (``benchmarks/BENCH_kernel.json``) contains
+quick-tier numbers for CI to gate against like-for-like; ``--quick``
+measures only the quick tier, and ``--nodes`` (repeatable) measures the
+listed scale tiers instead (added to full+quick without ``--quick``).  The
+``bench-guard`` job re-measures quick plus the 10^5 scale tier and gates on
+the **speedup ratio** per workload of the common tier(s), not on absolute
+steps/s -- ratios transfer across machines, absolute numbers do not (they
+are still recorded, so the perf trajectory stays visible PR over PR).
 """
 
 from __future__ import annotations
@@ -37,8 +58,9 @@ from __future__ import annotations
 import json
 import math
 import os
+import random
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.agents.agent import Agent
 from repro.agents.memory import MemoryModel
@@ -61,11 +83,19 @@ __all__ = [
 BENCH_FORMAT = "repro-bench-v1"
 
 #: Workload names, in report order.
-WORKLOADS = ("random_walk", "dispersion")
+WORKLOADS = ("random_walk", "dispersion", "scatter", "probe")
 
 #: Default world sizes (nodes; agents default to the same number).
 FULL_NODES = 100_000
 QUICK_NODES = 20_000
+
+#: From this world size up, reference-backend legs run the short horizon (no
+#: warm-up, one-round chunks, at most :data:`SHORT_HORIZON_CALLS` calls): one
+#: reference round at 10^6 nodes is seconds of Python, so the amortizing
+#: chunk ladder would never fit a budget.  Tiers this large also drop to a
+#: single measurement pass -- their rows are trajectory data, not gate input.
+SHORT_HORIZON_NODES = 200_000
+SHORT_HORIZON_CALLS = 2
 
 #: Minimum wall-clock spent measuring each (workload, backend) leg.  The
 #: quick budget is sized so the vectorized leg reliably reaches the large
@@ -93,16 +123,95 @@ def bench_scenario(nodes: int, agents: int, backend: str = DEFAULT_BACKEND, seed
     )
 
 
+def _workload_runner(
+    engine: SyncEngine, workload: str, seed: int
+) -> Callable[[int, int], int]:
+    """Build the measured closure for one leg: ``run(chunk, salt) -> steps``.
+
+    ``chunk`` is the number of rounds (walk workloads), path hops (scatter),
+    or full query sweeps (probe) per timed call; ``salt`` decorrelates the
+    RNG streams across calls.  Any one-off setup a workload needs (settling
+    the probe world, seeding the scatter path RNG) happens here, outside the
+    timed region.
+    """
+    kernel = engine.kernel
+    backend = kernel.backend
+    if workload in ("random_walk", "dispersion"):
+        settle = workload == "dispersion"
+
+        def run(chunk: int, salt: int) -> int:
+            return backend.run_walk(chunk, seed=seed + 1 + salt, settle=settle)
+
+        return run
+    if workload == "scatter":
+        graph = kernel.graph
+        walker_ids = sorted(kernel.agents)
+        rng = random.Random(seed)
+        # The whole population walks one shared path, exactly like a blocked
+        # group's scatter phase; the head node persists across calls.
+        state = {"node": kernel.agents[walker_ids[0]].position}
+
+        def run(chunk: int, salt: int) -> int:
+            node = state["node"]
+            ports: List[int] = []
+            for _ in range(chunk):
+                port = rng.randint(1, graph.degree(node))
+                ports.append(port)
+                node = graph.neighbor(node, port)
+            state["node"] = engine.step_path(
+                walker_ids, state["node"], ports, counter="scatter_moves"
+            )
+            return chunk * len(walker_ids)
+
+        return run
+    if workload == "probe":
+        graph = kernel.graph
+        n = graph.num_nodes
+        # A fully settled world (measure_tier spreads the population across
+        # the nodes): every query does real settled-presence work.
+        for agent in kernel.agents.values():
+            if not agent.settled:
+                agent.settle(agent.position, None)
+        nodes_q: Any
+        excl_q: Any
+        from repro.sim.backends.vectorized import VectorizedBackend
+        from repro.sim.backends.vectorized import np as _np
+
+        if _np is not None and isinstance(backend, VectorizedBackend):
+            # Prebuilt int64 arrays enter the vectorized primitive zero-copy;
+            # the reference leg gets plain lists -- each backend is fed its
+            # native container so neither pays conversion inside the loop.
+            nodes_q = _np.arange(n, dtype=_np.int64)
+            excl_q = _np.zeros(n, dtype=_np.int64)
+        else:
+            nodes_q = list(range(n))
+            excl_q = [0] * n
+
+        def run(chunk: int, salt: int) -> int:
+            for _ in range(chunk):
+                kernel.run_probe_round(nodes_q, excl_q)
+            return chunk * n
+
+        return run
+    raise ValueError(f"unknown workload {workload!r}; known: {WORKLOADS}")
+
+
 def _measure(
-    engine: SyncEngine, workload: str, seed: int, budget_s: float
+    engine: SyncEngine,
+    workload: str,
+    seed: int,
+    budget_s: float,
+    short: bool = False,
 ) -> Dict[str, Any]:
-    """Time ``run_walk`` chunks until the budget is spent; return the tallies."""
-    backend = engine.kernel.backend
-    settle = workload == "dispersion"
-    # One untimed warm-up round absorbs first-touch costs (array views, page
-    # faults) so the measured rate reflects steady state.
-    backend.run_walk(1, seed=seed, settle=settle)
+    """Time workload chunks until the budget is spent; return the tallies."""
+    run = _workload_runner(engine, workload, seed)
+    if not short:
+        # One untimed warm-up call absorbs first-touch costs (array views,
+        # page faults) so the measured rate reflects steady state.  Short
+        # legs skip it: at 10^6 nodes the warm-up alone would cost seconds.
+        run(1, 0)
     steps = 0
+    calls = 0
     rounds_before = engine.metrics.rounds
     # Chunks grow geometrically (the pyperf pattern): per-call costs -- state
     # rebuilds and the vectorized backend's O(k) sync-back -- amortize away,
@@ -110,28 +219,37 @@ def _measure(
     # The reported steps/s is the *best* chunk's rate (again pyperf: the
     # minimum-time estimator), which a transient stall cannot drag down --
     # that stability is what lets bench-guard gate ratios with a +-25% band.
-    chunk = 4
+    # Short legs pin chunk=1 and stop after SHORT_HORIZON_CALLS calls.
+    chunk = 1 if short else 4
     best_rate = 0.0
     start = time.perf_counter()
     elapsed = 0.0
     while elapsed < budget_s:
         chunk_start = time.perf_counter()
-        done = backend.run_walk(chunk, seed=seed + 1 + steps, settle=settle)
+        done = run(chunk, steps)
         chunk_end = time.perf_counter()
+        calls += 1
         steps += done
         elapsed = chunk_end - start
         if done == 0:
             break  # dispersion completed: further rounds are no-ops
         if chunk_end > chunk_start:
             best_rate = max(best_rate, done / (chunk_end - chunk_start))
-        chunk = min(chunk * 4, 4096)
+        if short:
+            if calls >= SHORT_HORIZON_CALLS:
+                break
+        else:
+            chunk = min(chunk * 4, 4096)
     rounds = engine.metrics.rounds - rounds_before
-    return {
+    measured: Dict[str, Any] = {
         "rounds": rounds,
         "steps": steps,
         "seconds": round(elapsed, 6),
         "steps_per_second": round(best_rate, 3),
     }
+    if short:
+        measured["short_horizon"] = True
+    return measured
 
 
 def measure_tier(
@@ -165,13 +283,29 @@ def measure_tier(
     # same leg twice, minutes apart, to drag its reported rate down -- and
     # interleaving means both backends sample comparable noise windows, which
     # is what keeps the *ratio* stable enough for bench-guard's band.
+    # Short-horizon sizes get a single pass: world setup alone is ~10s/leg at
+    # 10^6 nodes, and their rows are trajectory data, not gate input.
+    short_tier = graph.num_nodes >= SHORT_HORIZON_NODES
+    passes = 1 if short_tier else 2
     best: Dict[tuple, Dict[str, Any]] = {}
-    for _pass in range(2):
+    for _pass in range(passes):
         for workload in workloads:
             for backend in backends:
-                population = [Agent(i, 0, model) for i in range(1, agents + 1)]
+                # The probe workload spreads the population so settling each
+                # agent in place yields a fully settled world; every other
+                # workload starts rooted (everyone on node 0).
+                if workload == "probe":
+                    population = [
+                        Agent(i, (i - 1) % graph.num_nodes, model)
+                        for i in range(1, agents + 1)
+                    ]
+                else:
+                    population = [Agent(i, 0, model) for i in range(1, agents + 1)]
                 engine = SyncEngine(graph, population, backend=backend)
-                measured = _measure(engine, workload, seed=seed, budget_s=budget_s)
+                short = short_tier and backend == DEFAULT_BACKEND
+                measured = _measure(
+                    engine, workload, seed=seed, budget_s=budget_s, short=short
+                )
                 key = (workload, backend)
                 if (
                     key not in best
@@ -206,6 +340,7 @@ def run_bench(
     agents: Optional[int] = None,
     seed: int = 0,
     quick: bool = False,
+    scale: Optional[Sequence[int]] = None,
 ) -> Dict[str, Any]:
     """Measure and return the report payload.
 
@@ -214,9 +349,27 @@ def run_bench(
     quick-tier ratios a later ``--quick --check`` run gates against
     like-for-like.  ``nodes``/``agents`` override the size of the tier being
     headlined (the full tier, or the quick tier under ``quick``).
+
+    ``scale`` (the CLI's repeatable ``--nodes``) adds one ``scale-N`` tier
+    per listed size, measured at the quick budget; with ``quick`` the scale
+    tiers *replace* the quick tier, so a CI invocation like
+    ``--quick --nodes 1000000 --backend vectorized`` measures exactly one
+    time-budgeted smoke tier.
     """
     tiers: Dict[str, Dict[str, Any]] = {}
-    if quick:
+    if scale:
+        if nodes is not None:
+            raise ValueError("pass either nodes= (headline override) or scale=, not both")
+        for size in scale:
+            tiers[f"scale-{size}"] = measure_tier(
+                backends, workloads, nodes=size, agents=agents, seed=seed, quick=True
+            )
+        if not quick:
+            tiers["full"] = measure_tier(
+                backends, workloads, agents=agents, seed=seed, quick=False
+            )
+            tiers["quick"] = measure_tier(backends, workloads, seed=seed, quick=True)
+    elif quick:
         tiers["quick"] = measure_tier(
             backends, workloads, nodes=nodes, agents=agents, seed=seed, quick=True
         )
@@ -253,13 +406,21 @@ def _speedups(results: Sequence[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
     return speedups
 
 
+def _tier_order(tiers: Dict[str, Any]) -> List[str]:
+    """Report order: full, quick, then scale tiers by ascending size."""
+    names = [name for name in ("full", "quick") if name in tiers]
+    scales = sorted(
+        (name for name in tiers if name.startswith("scale-")),
+        key=lambda name: int(name.rsplit("-", 1)[1]),
+    )
+    return names + scales
+
+
 def render(payload: Dict[str, Any]) -> str:
     """Human-readable tables of a report payload, one block per tier."""
     lines: List[str] = []
-    for tier_name in ("full", "quick"):
-        tier = payload["tiers"].get(tier_name)
-        if tier is None:
-            continue
+    for tier_name in _tier_order(payload["tiers"]):
+        tier = payload["tiers"][tier_name]
         if lines:
             lines.append("")
         lines.append(
@@ -273,6 +434,7 @@ def render(payload: Dict[str, Any]) -> str:
                 f"{entry['workload']:12s} {entry['backend']:11s} "
                 f"{entry['rounds']:7d} {entry['steps']:12d} "
                 f"{entry['steps_per_second']:14,.0f}"
+                + ("  [short horizon]" if entry.get("short_horizon") else "")
             )
         for workload, ratios in sorted(tier.get("speedups", {}).items()):
             for backend, ratio in sorted(ratios.items()):

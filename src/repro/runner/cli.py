@@ -446,16 +446,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload",
         action="append",
         default=[],
-        choices=["random_walk", "dispersion"],
-        help="workload(s) to measure (repeatable; default: both)",
+        choices=["random_walk", "dispersion", "scatter", "probe"],
+        help="workload(s) to measure (repeatable; default: all four)",
     )
-    bench_p.add_argument("--nodes", type=int, default=None, help="graph size (default 100000; --quick 20000)")
+    bench_p.add_argument(
+        "--nodes",
+        type=int,
+        action="append",
+        default=[],
+        help="scale axis: measure one scale-N tier per value (repeatable; "
+        "10^6 is feasible -- reference legs switch to a short horizon at "
+        ">= 200k nodes); without it the default full/quick tier sizes apply",
+    )
     bench_p.add_argument("--agents", type=int, default=None, help="population size (default: nodes)")
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument(
         "--quick",
         action="store_true",
-        help="CI sizing: smaller graph, shorter timing budget",
+        help="CI sizing: smaller graph, shorter timing budget; with --nodes, "
+        "measure only the listed scale tier(s)",
+    )
+    bench_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the measurement under cProfile and print the top functions "
+        "by cumulative time to stderr",
     )
     bench_p.add_argument(
         "--out",
@@ -970,14 +985,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for name in backends:
         require_backend(name)
     workloads = list(dict.fromkeys(args.workload)) or list(bench_mod.WORKLOADS)
-    payload = bench_mod.run_bench(
-        backends=backends,
-        workloads=workloads,
-        nodes=args.nodes,
-        agents=args.agents,
-        seed=args.seed,
-        quick=args.quick,
-    )
+    scale = list(dict.fromkeys(args.nodes))
+
+    def _run() -> Dict[str, Any]:
+        return bench_mod.run_bench(
+            backends=backends,
+            workloads=workloads,
+            agents=args.agents,
+            seed=args.seed,
+            quick=args.quick,
+            scale=scale or None,
+        )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        payload = profiler.runcall(_run)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print("bench profile (top 30 by cumulative time):", file=sys.stderr)
+        stats.print_stats(30)
+    else:
+        payload = _run()
     print(bench_mod.render(payload))
     path = bench_mod.write_report(payload, args.out)
     print(f"wrote bench report to {path}")

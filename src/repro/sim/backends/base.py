@@ -21,15 +21,29 @@ interchangeable here -- same mutations, same metrics accounting, same error
 messages, same query results -- so algorithm drivers produce byte-identical
 records on any backend.
 
-**Batch-stepping tier** (:meth:`KernelBackend.run_walk`).  A whole block of
-random-walk rounds executed inside the backend, without returning to Python
-per agent.  This is where a vectorized backend earns its keep: the base class
-provides a generic per-agent implementation (the oracle leg of ``repro
-bench``), and fast backends override it with array code.  The walk is
-seed-deterministic *per backend* but not across backends (they draw from
-different RNG families); cross-backend tests assert semantic invariants, not
-byte equality.  The batch tier honours crash/freeze fault masks and edge
-churn via the kernel's injector, but does not run the invariant checker.
+**Batch-stepping tier**.  Whole phases executed inside the backend, without
+returning to Python per agent.  This is where a vectorized backend earns its
+keep: the base class provides generic per-agent implementations (the oracle
+legs of ``repro bench``), and fast backends override them with array code.
+The tier has two determinism grades:
+
+* :meth:`KernelBackend.run_walk` is seed-deterministic *per backend* but not
+  across backends (they draw from different RNG families); cross-backend
+  tests assert semantic invariants, not byte equality.
+* The driver-phase primitives -- the settled-agent queries
+  (:meth:`settled_present` / :meth:`home_settler_at` /
+  :meth:`has_home_settler`), :meth:`run_probe_round`, :meth:`run_scatter`,
+  and :meth:`run_phase` -- are **deterministic**, so they inherit the per-op
+  parity contract: every backend must produce byte-identical records (same
+  mutations, metrics, error messages, query answers).  The DFS/probe-style
+  algorithm drivers in :mod:`repro.core` ride these, which is what puts the
+  paper's own algorithms on the fast path
+  (``tests/test_backend_differential.py`` pins the equivalence).
+
+The batch tier honours crash/freeze fault masks and edge churn via the
+kernel's injector; ``run_walk`` does not run the invariant checker, while the
+driver-phase primitives defer to the generic per-round path whenever a
+checker or trace recorder must observe every round.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from typing import TYPE_CHECKING, ClassVar, Dict, List, Mapping, Optional, Seque
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agents.agent import Agent
     from repro.sim.kernel import ExecutionKernel
+    from repro.sim.sync_engine import SyncEngine
 
 __all__ = ["KernelBackend"]
 
@@ -62,6 +77,10 @@ class KernelBackend(ABC):
     def bind(self, kernel: "ExecutionKernel") -> None:
         """Attach to ``kernel`` and build state from its agent table."""
         self.kernel = kernel
+        # Detach any settled-index observer a previously bound backend left on
+        # the agents; backends that keep an index re-attach in rebuild().
+        for agent in kernel.agents.values():
+            agent._observer = None
         self.rebuild()
 
     # ------------------------------------------------------------------ state
@@ -165,3 +184,86 @@ class KernelBackend(ABC):
             by_node[agent.position] = agent_id
         for node, agent_id in by_node.items():
             agents[agent_id].settle(node, None)
+
+    # ------------------------------------------------- settled-agent queries
+    # Driver-phase primitives.  Unlike run_walk these are deterministic, so
+    # they inherit the per-op parity contract: overrides must be observably
+    # exact.  The generic bodies below are the repro.core driver loops they
+    # replaced, verbatim -- fault filtering rides kernel.agents_at (the v2
+    # Communicate query), and none of them count trace probes (the loops they
+    # replaced never did; only settled_agent_at/settled_agents_at do).
+
+    def settled_present(self, node: int, exclude_id: Optional[int] = None) -> bool:
+        """True when a settled agent other than ``exclude_id`` communicates at
+        ``node`` (Sync_Probe's "did my seeker meet anyone" question)."""
+        for other in self.kernel.agents_at(node):
+            if other.agent_id != exclude_id and other.settled:
+                return True
+        return False
+
+    def home_settler_at(self, node: int) -> Optional["Agent"]:
+        """The min-id communicating agent settled with ``home == node``."""
+        for agent in self.kernel.agents_at(node):
+            if agent.settled and agent.home == node:
+                return agent
+        return None
+
+    def has_home_settler(self, node: int, exclude_id: Optional[int] = None) -> bool:
+        """True when some communicating agent other than ``exclude_id`` is
+        settled with ``home == node`` (the scatter "is this node free" test)."""
+        for agent in self.kernel.agents_at(node):
+            if agent.settled and agent.home == node and agent.agent_id != exclude_id:
+                return True
+        return False
+
+    def run_probe_round(
+        self, nodes: Sequence[int], exclude_ids: Sequence[int]
+    ) -> List[bool]:
+        """One probe round, batched: element ``i`` answers whether a settled
+        agent other than ``exclude_ids[i]`` communicates at ``nodes[i]``.
+
+        The two parallel sequences (rather than pairs) let bulk callers pass
+        prebuilt arrays straight through to a vectorized override.
+        """
+        return [
+            self.settled_present(node, exclude)
+            for node, exclude in zip(nodes, exclude_ids)
+        ]
+
+    # --------------------------------------------------------- phase driving
+    def run_scatter(
+        self,
+        engine: "SyncEngine",
+        walker_ids: Sequence[int],
+        start: int,
+        ports: Sequence[int],
+        counter: Optional[str] = None,
+    ) -> int:
+        """Drive a scatter pack from ``start`` down the port path, one engine
+        round per hop; returns the node at the end of the path.
+
+        Each hop moves exactly the walkers still standing on the path head (a
+        walker whose move was fault-dropped falls out of the pack, exactly as
+        in the per-round driver loop this replaces), and bumps ``counter``
+        when given.  Every hop is a real :meth:`SyncEngine.step`, so fault
+        gates, invariant checks, and tracing all fire per round.
+        """
+        kernel = self.kernel
+        agents = kernel.agents
+        graph = kernel.graph
+        walkers = [agents[a] for a in walker_ids]
+        current = start
+        for port in ports:
+            moves = {a.agent_id: port for a in walkers if a.position == current}
+            engine.step(moves)
+            current = graph.neighbor(current, port)
+            if counter is not None:
+                kernel.metrics.bump(counter)
+        return current
+
+    def run_phase(self, engine: "SyncEngine", rounds: int) -> None:
+        """Advance ``rounds`` idle rounds (nobody the caller controls moves)
+        in one backend call; vectorized backends collapse the fault-free,
+        untraced case to O(1) instead of O(rounds) Python iterations."""
+        for _ in range(rounds):
+            engine.step({})

@@ -7,6 +7,15 @@ is differentially tested against this one (see
 ``tests/test_backend_differential.py``), so treat changes here as semantic
 changes to the simulator itself -- they require a ``code_version`` bump for
 every registered algorithm.
+
+The batch-stepping tier -- ``run_walk`` plus the deterministic driver-phase
+primitives (``settled_present`` / ``home_settler_at`` / ``has_home_settler``
+/ ``run_probe_round`` / ``run_scatter`` / ``run_phase``) -- is inherited
+unchanged from :class:`~repro.sim.backends.base.KernelBackend`: the generic
+bodies there *are* this oracle's implementation (the original per-round
+driver loops, extracted verbatim), exactly as the per-op tier below is the
+original kernel loop.  Vectorized backends override them with array code and
+are pinned to the answers produced here.
 """
 
 from __future__ import annotations

@@ -36,7 +36,17 @@ composes with the kernel instead of re-implementing the world logic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
@@ -235,6 +245,32 @@ class ExecutionKernel:
         if self.trace is not None:
             self.trace.count_probe(bool(found))
         return found
+
+    def settled_present(self, node: int, exclude_id: Optional[int] = None) -> bool:
+        """True when a settled agent other than ``exclude_id`` communicates at
+        ``node`` right now.
+
+        Backend-delegated driver-phase query (deterministic batch tier): the
+        answer is fault-filtered like :meth:`agents_at`, but -- matching the
+        driver loops it replaced -- it does *not* count a trace probe (only
+        :meth:`settled_agent_at` / :meth:`settled_agents_at` do).
+        """
+        return self.backend.settled_present(node, exclude_id)
+
+    def home_settler_at(self, node: int) -> Optional[Agent]:
+        """The min-id communicating agent settled with ``home == node``."""
+        return self.backend.home_settler_at(node)
+
+    def has_home_settler(self, node: int, exclude_id: Optional[int] = None) -> bool:
+        """True when a communicating agent other than ``exclude_id`` is settled
+        with ``home == node`` (the scatter drivers' "node is taken" test)."""
+        return self.backend.has_home_settler(node, exclude_id)
+
+    def run_probe_round(
+        self, nodes: Sequence[int], exclude_ids: Sequence[int]
+    ) -> List[bool]:
+        """Batched :meth:`settled_present` over parallel sequences."""
+        return self.backend.run_probe_round(nodes, exclude_ids)
 
     def positions(self) -> Dict[int, int]:
         """Snapshot of ``agent_id -> node``."""

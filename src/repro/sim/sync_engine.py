@@ -20,7 +20,7 @@ at its own node only) are the kernel's, re-exported unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Union
 
 from repro.agents.agent import Agent
 from repro.graph.port_graph import PortLabeledGraph
@@ -171,9 +171,31 @@ class SyncEngine:
         Background processes (oscillators) are *not* advanced by this method --
         it exists only for algorithms with no background activity that must wait
         (e.g. the sequential-probe baselines waiting for a reply convention).
+        Rides the backend's :meth:`~repro.sim.backends.KernelBackend.run_phase`
+        batch primitive (O(1) on the vectorized backend when no injector,
+        checker, or trace must observe the individual rounds).
         """
-        for _ in range(count):
-            self.step({})
+        self._kernel.backend.run_phase(self, count)
+
+    def step_path(
+        self,
+        walker_ids: Sequence[int],
+        start: int,
+        ports: Sequence[int],
+        counter: Optional[str] = None,
+    ) -> int:
+        """Walk the pack ``walker_ids`` from ``start`` down the port path, one
+        round per hop; returns the node at the end of the path.
+
+        Each hop moves exactly the walkers still standing on the path head (a
+        fault-dropped walker falls out of the pack and is left where it
+        stalled); ``counter`` names a metrics counter bumped once per hop.
+        Rides the backend's
+        :meth:`~repro.sim.backends.KernelBackend.run_scatter` batch primitive.
+        """
+        return self._kernel.backend.run_scatter(
+            self, walker_ids, start, ports, counter=counter
+        )
 
     # ------------------------------------------------------------ observation
     # The kernel's observation queries are the single documented query

@@ -184,6 +184,45 @@ def test_synchrony_spectrum_is_backend_invariant(scheduler):
         assert_backend_invariant(algorithm, spec)
 
 
+#: The drivers whose DFS/probe phases now ride the backend's batched
+#: driver-phase primitives (run_probe_round, run_scatter, the settled-query
+#: trio).  They get a deterministic scheduler x fault matrix on top of the
+#: random sweep above: these are exactly the code paths where the vectorized
+#: backend must detect faults/churn and fall back (or mask array-side) without
+#: perturbing a single record byte.
+BATCHED_DRIVERS = ("rooted_sync", "general_sync", "rooted_async", "general_async")
+
+DRIVER_FAULT_PROFILES = (
+    {"crash": 0.2, "horizon": 8},
+    {"freeze": 0.35, "freeze_duration": 4, "horizon": 10},
+    {"churn": 0.25, "horizon": 10},
+)
+
+
+@pytest.mark.parametrize("algorithm", BATCHED_DRIVERS)
+def test_batched_driver_fault_matrix_is_backend_invariant(algorithm):
+    """Every newly batched driver, across the synchrony spectrum and every
+    fault mechanism, produces byte-identical records modulo the backend tag."""
+    is_async = algorithm.endswith("_async")
+    is_general = algorithm.startswith("general")
+    schedulers = SCHEDULER_CHOICES if is_async else ("async",)
+    for scheduler in schedulers:
+        for offset, faults in enumerate(DRIVER_FAULT_PROFILES):
+            spec = ScenarioSpec(
+                family="erdos_renyi",
+                params={"n": 12, "p": 0.35},
+                k=6,
+                placement="split" if is_general else "rooted",
+                placement_parts=2 if is_general else 1,
+                scheduler=scheduler,
+                seed=100 + offset,
+                faults=faults,
+                check_invariants=True,
+            )
+            record = assert_backend_invariant(algorithm, spec)
+            assert record.status != "unsupported"
+
+
 def test_churn_heavy_run_is_backend_invariant():
     """Edge churn rebuilds the port tables mid-run; the vectorized CSR views
     must track every rewiring exactly (ports shift down, new top ports)."""

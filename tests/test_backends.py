@@ -286,6 +286,302 @@ def test_batch_walk_respects_crash_and_freeze_masks():
         assert engine.kernel.moves_per_agent.get(3, 0) == 0
 
 
+# ------------------------------------------------------- driver-phase primitives
+#
+# The DFS/probe driver phases ride four batched primitives (settled-presence
+# queries, run_probe_round, run_scatter via SyncEngine.step_path, run_phase
+# via idle_rounds).  Unlike run_walk these are *deterministic* -- they inherit
+# the per-operation tier's exact-parity contract, pinned here per primitive:
+# masks, mid-phase faults, churn mid-round, and error ordering.
+
+
+def lockstep_engines(n=18, k=10, seed=7, start=0, **kwargs):
+    engines = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=n, k=k, seed=seed, start=start)
+        engines.append(SyncEngine(graph, agents, backend=backend, **kwargs))
+    return engines
+
+
+def probe_answers(engine, exclude_ids=(None,)):
+    """Every settled-query primitive's answer over the whole node set."""
+    kernel = engine.kernel
+    nodes = list(range(engine.graph.num_nodes))
+    home = [kernel.home_settler_at(v) for v in nodes]
+    return {
+        "present": {
+            exclude: [kernel.settled_present(v, exclude) for v in nodes]
+            for exclude in exclude_ids
+        },
+        "home": [(a.agent_id if a is not None else None) for a in home],
+        "has_home": {
+            exclude: [kernel.has_home_settler(v, exclude) for v in nodes]
+            for exclude in exclude_ids
+        },
+        "round": kernel.run_probe_round(nodes, [0] * len(nodes)),
+    }
+
+
+@needs_vectorized
+def test_settled_queries_track_settle_unsettle_resettle_and_moving_settlers():
+    """The vectorized settled index must answer exactly like the reference
+    scans through arbitrary settle / re-settle / unsettle / move interleavings
+    -- including settled bodies that keep moving (the oscillators)."""
+    ref, vec = lockstep_engines()
+    rng = random.Random(0x5E77)
+    for _ in range(80):
+        op = rng.random()
+        aid = rng.randint(1, 10)
+        ra, va = ref.agents[aid], vec.agents[aid]
+        if op < 0.3:
+            for a in (ra, va):
+                a.settle(a.position, None)  # re-settle moves the index entry
+        elif op < 0.45 and ra.settled:
+            for a in (ra, va):
+                a.unsettle()
+        else:
+            moves = {aid: rng.randint(1, ref.graph.degree(ra.position))}
+            ref.step(dict(moves))  # settled agents move too: oscillation
+            vec.step(dict(moves))
+        excludes = (None, aid, rng.randint(1, 10))
+        assert probe_answers(ref, excludes) == probe_answers(vec, excludes)
+        assert snapshot(ref) == snapshot(vec)
+
+
+@needs_vectorized
+def test_run_probe_round_parity_with_mixed_excludes():
+    ref, vec = lockstep_engines(n=14, k=8, seed=4)
+    rng = random.Random(21)
+    for eng in (ref, vec):
+        for aid in (1, 3, 5, 8):
+            eng.agents[aid].settle(eng.agents[aid].position, None)
+    nodes, excludes = [], []
+    for _ in range(50):
+        nodes.append(rng.randrange(14))
+        excludes.append(rng.randint(0, 9))  # 0 and 9 match no agent
+    answers = ref.kernel.run_probe_round(nodes, excludes)
+    assert answers == vec.kernel.run_probe_round(nodes, excludes)
+    assert any(answers) and not all(answers)  # the case mix is real
+
+
+@needs_vectorized
+def test_run_probe_round_accepts_prebuilt_arrays():
+    """The bench feeds the vectorized leg int64 arrays; answers must match the
+    list form on both backends (the generic body zips, arrays zip fine)."""
+    np = pytest.importorskip("numpy")
+    ref, vec = lockstep_engines(n=12, k=6, seed=9)
+    for eng in (ref, vec):
+        for aid in (2, 4):
+            eng.agents[aid].settle(eng.agents[aid].position, None)
+    nodes = list(range(12))
+    excludes = [0] * 12
+    expected = ref.kernel.run_probe_round(nodes, excludes)
+    assert vec.kernel.run_probe_round(nodes, excludes) == expected
+    assert (
+        vec.kernel.run_probe_round(
+            np.asarray(nodes, dtype=np.int64), np.asarray(excludes, dtype=np.int64)
+        )
+        == expected
+    )
+    assert (
+        ref.kernel.run_probe_round(
+            np.asarray(nodes, dtype=np.int64), np.asarray(excludes, dtype=np.int64)
+        )
+        == expected
+    )
+
+
+@needs_vectorized
+def test_settled_queries_fall_back_to_fault_filtered_scans_under_faults():
+    """With an injector present the queries must stay Communicate queries:
+    crashed/frozen settlers are invisible, exactly as the reference scans see
+    it (the vectorized index is *not* fault-filtered, so it must defer)."""
+    engines = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=14, k=6, seed=13)
+        engines.append(
+            build_engine(
+                graph=graph,
+                agents=agents,
+                fault_schedule=FaultSchedule(
+                    crash_at={2: 1}, freeze_windows={4: (1, 4)}
+                ),
+                backend=backend,
+            )
+        )
+    ref, vec = engines
+    for eng in (ref, vec):
+        for aid in (2, 4, 6):
+            eng.agents[aid].settle(eng.agents[aid].position, None)
+        eng.step({})  # tick past t=0 so the crash and freeze are live
+        eng.step({})
+    excludes = (None, 2, 4)
+    assert probe_answers(ref, excludes) == probe_answers(vec, excludes)
+    # the crashed settler's node really answers "nobody settled here"
+    crashed_home = ref.agents[2].home
+    alone = all(
+        a.agent_id == 2 or a.position != crashed_home for a in ref.agents.values()
+    )
+    if alone:
+        assert not ref.kernel.settled_present(crashed_home)
+
+
+@needs_vectorized
+def test_step_path_parity_and_duplicate_walker_collapse():
+    """run_scatter: same end node, same records, and duplicate walker ids
+    count once (the reference moves-dict collapses them by construction)."""
+    ref, vec = lockstep_engines(n=16, k=5, seed=6)
+    rng = random.Random(0xAB)
+    node, ports = 0, []
+    for _ in range(12):
+        port = rng.randint(1, ref.graph.degree(node))
+        ports.append(port)
+        node = ref.graph.neighbor(node, port)
+    walker_ids = [1, 2, 3, 2, 1]  # duplicates must not double-move anyone
+    ends = []
+    for eng in (ref, vec):
+        ends.append(eng.step_path(list(walker_ids), 0, list(ports), counter="scatter_moves"))
+    assert ends[0] == ends[1] == node
+    assert snapshot(ref) == snapshot(vec)
+    assert ref.metrics.rounds == vec.metrics.rounds == 12
+    assert ref.metrics.extra["scatter_moves"] == vec.metrics.extra["scatter_moves"]
+    assert ref.metrics.total_moves == 12 * 3  # three distinct walkers
+
+
+@needs_vectorized
+def test_step_path_error_parity_for_both_invalid_port_orderings():
+    """An invalid port raises with the graph's exact words in both backends,
+    with identical partial state -- both when walkers are moving (batch-plan
+    error, before the round counts) and when none are (neighbor lookup error,
+    after the round counts)."""
+    for walkers_at_start in (True, False):
+        outcomes = []
+        for backend in ("reference", "vectorized"):
+            graph, agents = make_world(n=12, k=4, seed=8, start=0)
+            engine = SyncEngine(graph, agents, backend=backend)
+            start = 0 if walkers_at_start else graph.neighbor(0, 1)
+            # walk down port 1, then ask for a port the next node cannot have
+            bad = graph.max_degree + 7
+            with pytest.raises(ValueError) as err:
+                engine.step_path([1, 2], start, [1, bad], counter="scatter_moves")
+            outcomes.append(
+                (
+                    str(err.value),
+                    engine.metrics.rounds,
+                    engine.metrics.extra.get("scatter_moves", 0.0),
+                    snapshot(engine),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+        assert f"has no port {graph.max_degree + 7}" in outcomes[0][0]
+
+
+@needs_vectorized
+def test_step_path_freeze_mask_leaves_frozen_walkers_behind():
+    """A walker frozen mid-phase misses those hops in both backends (the
+    vectorized fault mask must equal the reference's per-round filtering)."""
+    engines = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=16, k=5, seed=10, start=0)
+        engines.append(
+            build_engine(
+                graph=graph,
+                agents=agents,
+                fault_schedule=FaultSchedule(
+                    crash_at={3: 2}, freeze_windows={2: (1, 3)}
+                ),
+                backend=backend,
+            )
+        )
+    ref, vec = engines
+    node, ports = 0, []
+    rng = random.Random(3)
+    for _ in range(6):
+        port = rng.randint(1, ref.graph.degree(node))
+        ports.append(port)
+        node = ref.graph.neighbor(node, port)
+    ends = [eng.step_path([1, 2, 3, 4, 5], 0, list(ports)) for eng in (ref, vec)]
+    assert ends[0] == ends[1] == node
+    assert snapshot(ref) == snapshot(vec)
+    assert ref.fault_injector.counts == vec.fault_injector.counts
+    # the frozen and crashed walkers really missed hops; a healthy one didn't
+    moved = ref.kernel.moves_per_agent
+    assert moved[1] == len(ports)
+    assert moved.get(2, 0) < len(ports)
+    assert moved.get(3, 0) < len(ports)
+    assert ref.agents[1].position == node
+
+
+@needs_vectorized
+def test_step_path_parity_under_churn_mid_phase():
+    """Edge churn rewires the graph *between hops*; both backends must route
+    the remaining hops through the same post-churn port tables."""
+    spec = ScenarioSpec(
+        family="erdos_renyi",
+        params={"n": 14, "p": 0.35},
+        k=5,
+        seed=17,
+        faults={"churn": 0.7, "horizon": 10},
+    )
+    engines = [build_engine(spec, backend=b) for b in ("reference", "vectorized")]
+    ref, vec = engines
+    churn_before = ref.graph.churn_count
+    outcomes = []
+    for eng in engines:
+        # port 1 always exists (churn preserves connectivity, so degree >= 1):
+        # the path stays valid however the graph is rewired under it.
+        try:
+            outcomes.append(("ok", eng.step_path([1, 2, 3], 0, [1] * 8)))
+        except ValueError as err:  # pragma: no cover - depends on churn draw
+            outcomes.append(("error", str(err)))
+    assert outcomes[0] == outcomes[1]
+    assert snapshot(ref) == snapshot(vec)
+    assert ref.graph.churn_count == vec.graph.churn_count > churn_before
+    assert ref.fault_injector.counts == vec.fault_injector.counts
+
+
+@needs_vectorized
+def test_idle_rounds_parity_and_max_rounds_error():
+    """run_phase: the O(1) vectorized path must leave the same counters and
+    raise the same non-termination error at the same parked round count."""
+    outcomes = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=10, k=3, seed=2)
+        engine = SyncEngine(graph, agents, backend=backend, max_rounds=10)
+        engine.idle_rounds(7)
+        assert engine.metrics.rounds == 7
+        engine.idle_rounds(0)  # no-op, no rounds consumed
+        assert engine.metrics.rounds == 7
+        with pytest.raises(RuntimeError) as err:
+            engine.idle_rounds(10)
+        outcomes.append((str(err.value), engine.metrics.rounds))
+    assert outcomes[0] == outcomes[1]
+    assert "exceeded max_rounds=10" in outcomes[0][0]
+
+
+@needs_vectorized
+def test_idle_rounds_parity_with_injector_ticks_the_fault_clock():
+    """With faults present idle rounds must tick the injector (freeze windows
+    expire during waits); the vectorized backend defers to the generic loop."""
+    engines = []
+    for backend in ("reference", "vectorized"):
+        graph, agents = make_world(n=10, k=4, seed=5)
+        engines.append(
+            build_engine(
+                graph=graph,
+                agents=agents,
+                fault_schedule=FaultSchedule(freeze_windows={1: (0, 3)}),
+                backend=backend,
+            )
+        )
+    ref, vec = engines
+    for eng in (ref, vec):
+        eng.idle_rounds(5)
+    assert ref.metrics.rounds == vec.metrics.rounds == 5
+    assert ref.fault_injector.counts == vec.fault_injector.counts
+    assert not ref.kernel.fault_view(1).blocked_for_cycle  # the freeze expired
+
+
 # ------------------------------------------------------------------ build_engine
 
 

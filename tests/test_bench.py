@@ -59,6 +59,44 @@ def test_unknown_workload_is_rejected():
         bench.run_bench(["reference"], workloads=["warp"], quick=True)
 
 
+def test_scale_tiers_replace_quick_and_ride_along_otherwise():
+    only_scale = bench.run_bench(["reference"], quick=True, scale=[30, 48])
+    assert sorted(only_scale["tiers"]) == ["scale-30", "scale-48"]
+    assert only_scale["tiers"]["scale-48"]["nodes"] >= 48
+    with_scale = bench.run_bench(["reference"], scale=[30])
+    assert sorted(with_scale["tiers"]) == ["full", "quick", "scale-30"]
+    with pytest.raises(ValueError, match="not both"):
+        bench.run_bench(["reference"], nodes=64, scale=[30])
+
+
+def test_short_horizon_marks_reference_rows_at_large_sizes(monkeypatch):
+    """Above the cutoff, reference legs run unwarmed one-round chunks and say
+    so in the row; non-reference legs keep the amortizing ladder."""
+    below = bench.run_bench(["reference"], workloads=["random_walk"], quick=True)
+    (quick_row,) = below["tiers"]["quick"]["results"]
+    assert "short_horizon" not in quick_row  # default cutoff is far above 36
+    monkeypatch.setattr(bench, "SHORT_HORIZON_NODES", 32)
+    payload = bench.run_bench(
+        ["reference"], workloads=["random_walk"], quick=True, scale=[36]
+    )
+    (row,) = payload["tiers"]["scale-36"]["results"]
+    assert row["short_horizon"] is True
+    assert row["rounds"] <= bench.SHORT_HORIZON_CALLS  # chunk=1, capped calls
+
+
+def test_scatter_and_probe_workloads_measure_real_steps():
+    payload = bench.run_bench(
+        ["reference"], workloads=["scatter", "probe"], quick=True
+    )
+    rows = {r["workload"]: r for r in payload["tiers"]["quick"]["results"]}
+    # scatter: every round moves the whole population one hop
+    assert rows["scatter"]["steps"] == rows["scatter"]["rounds"] * 36
+    assert rows["scatter"]["rounds"] > 0
+    # probe: query sweeps advance no rounds; steps count answered queries
+    assert rows["probe"]["rounds"] == 0
+    assert rows["probe"]["steps"] > 0 and rows["probe"]["steps"] % 36 == 0
+
+
 @pytest.mark.skipif(not backend_available("vectorized"), reason="numpy not installed")
 def test_speedups_are_ratios_over_the_reference_leg():
     payload = bench.run_bench(["reference", "vectorized"], quick=True)

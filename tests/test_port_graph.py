@@ -142,6 +142,77 @@ class TestAnalysisHelpers:
             gen.validate()
 
 
+# --------------------------------------------------------------------- rewire
+class TestRewire:
+    """The incremental ``rewire`` (patching only renumbered rows) must be
+    indistinguishable from the full-rebuild path it replaced --
+    ``_rewire_via_rebuild`` stays in the class as the oracle."""
+
+    def test_remove_nonexistent_edge_message(self):
+        g = generators.ring(5)
+        with pytest.raises(ValueError, match="cannot remove nonexistent edge"):
+            g.rewire(remove=(0, 2))
+
+    def test_add_existing_edge_message(self):
+        g = generators.ring(5)
+        with pytest.raises(ValueError, match="cannot add existing edge"):
+            g.rewire(add=(0, 1))
+
+    def test_add_invalid_edge_message(self):
+        g = generators.ring(5)
+        with pytest.raises(ValueError, match="cannot add invalid edge"):
+            g.rewire(add=(2, 2))
+        with pytest.raises(ValueError, match="cannot add invalid edge"):
+            g.rewire(add=(0, 9))
+
+    def test_bridge_removal_without_replacement_disconnects(self):
+        g = generators.line(4)
+        with pytest.raises(ValueError, match="would disconnect the graph"):
+            g.rewire(remove=(1, 2))
+
+    def test_bridge_removal_with_cut_crossing_add_succeeds(self):
+        g = generators.line(4)
+        g.rewire(remove=(1, 2), add=(0, 3))
+        g.validate()
+        assert g.num_edges == 3
+        assert 3 in g.neighbors(0)
+
+    def test_readding_the_removed_pair_is_legal(self):
+        g = generators.ring(6)
+        before = sorted(g.neighbors(0))
+        g.rewire(remove=(0, 1), add=(0, 1))
+        g.validate()
+        assert sorted(g.neighbors(0)) == before
+        assert g.churn_count == 1
+
+    def test_failed_rewire_leaves_the_graph_untouched(self):
+        g = generators.grid2d(3, 3)
+        before = [g.neighbors(v) for v in g.nodes()]
+        with pytest.raises(ValueError):
+            g.rewire(remove=(0, 8))
+        assert [g.neighbors(v) for v in g.nodes()] == before
+        assert g.churn_count == 0
+
+
+def _rewire_observable(g):
+    """Everything a rewire may change, in port order."""
+    return {
+        "neighbors": [g.neighbors(v) for v in g.nodes()],
+        "reverse": [[g.reverse_port(v, p) for p in g.ports(v)] for v in g.nodes()],
+        "degrees": [g.degree(v) for v in g.nodes()],
+        "edges": g.num_edges,
+        "churn": g.churn_count,
+    }
+
+
+def _try_rewire(method, remove, add):
+    try:
+        method(remove=remove, add=add)
+        return ("ok", None)
+    except ValueError as err:
+        return ("ValueError", str(err))
+
+
 # ----------------------------------------------------------------- properties
 @st.composite
 def random_connected_graph(draw):
@@ -184,3 +255,45 @@ def test_property_random_assignment_preserves_structure(graph, seed):
     assert shuffled.num_edges == graph.num_edges
     for v in graph.nodes():
         assert sorted(shuffled.neighbors(v)) == sorted(graph.neighbors(v))
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_connected_graph(), st.integers(min_value=0, max_value=10_000))
+def test_property_incremental_rewire_matches_rebuild_oracle(graph, seed):
+    """Random churn sequences (legal rewirings, re-adds, bridge removals,
+    invalid drawings) give byte-identical port tables *and* identical error
+    text on the incremental path and the rebuild oracle."""
+    import random
+
+    rng = random.Random(seed)
+    adjacency = [graph.neighbors(v) for v in graph.nodes()]
+    fast = PortLabeledGraph([list(row) for row in adjacency])
+    slow = PortLabeledGraph([list(row) for row in adjacency])
+    for _ in range(8):
+        removable = fast.removable_edges()
+        missing = fast.missing_edges()
+        edges = list(fast.edges())
+        remove = add = None
+        choice = rng.random()
+        if choice < 0.3 and removable:
+            remove = removable[rng.randrange(len(removable))]
+            if rng.random() < 0.3:
+                add = remove  # re-adding the removed pair is legal
+            elif missing and rng.random() < 0.8:
+                add = missing[rng.randrange(len(missing))]
+        elif choice < 0.5 and missing:
+            add = missing[rng.randrange(len(missing))]
+        elif choice < 0.7:
+            if rng.random() < 0.5:  # likely-nonexistent removal
+                remove = (rng.randrange(fast.num_nodes), rng.randrange(fast.num_nodes))
+            else:  # already-present addition
+                add = edges[rng.randrange(len(edges))]
+        else:  # arbitrary removal: bridges must fail identically
+            remove = edges[rng.randrange(len(edges))]
+            if missing and rng.random() < 0.5:
+                add = missing[rng.randrange(len(missing))]
+        assert _try_rewire(fast.rewire, remove, add) == _try_rewire(
+            slow._rewire_via_rebuild, remove, add
+        ), f"diverged on -{remove} +{add}"
+        assert _rewire_observable(fast) == _rewire_observable(slow)
+    fast.validate()
